@@ -1,0 +1,24 @@
+"""Shared fixtures for the table/figure benches.
+
+One moderate population run is shared by every population-statistic bench
+(Figures 9/16/17, Table IV, the overall summary) so the suite stays
+laptop-fast.  Raise the env knobs for smoother curves:
+
+    REPRO_BENCH_SLICES=96 REPRO_BENCH_SLICE_LEN=40000 \
+        pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.harness import run_population
+
+BENCH_SLICES = int(os.environ.get("REPRO_BENCH_SLICES", "24"))
+BENCH_SLICE_LEN = int(os.environ.get("REPRO_BENCH_SLICE_LEN", "12000"))
+
+
+@pytest.fixture(scope="session")
+def population():
+    return run_population(n_slices=BENCH_SLICES,
+                          slice_length=BENCH_SLICE_LEN, seed=2020)

@@ -1,0 +1,64 @@
+"""Section V's design-space comparison: flush-everything vs CONTEXT_HASH
+target encryption across context switches.
+
+"Simple options such as erasing all branch prediction state on a context
+change ... come at the cost of having to retrain when going back to the
+original context.  ...  The compromise solution ... provides improved
+security with minimal performance, timing, and area impact."
+
+Two processes alternate on one core; each switch applies the policy.
+Expected ordering: none <= encrypt << flush in total mispredicts.
+"""
+
+from repro.config import get_generation
+from repro.frontend import BranchUnit
+from repro.security import EntropySources, ProcessContext, SecureFrontEndContext
+from repro.traces import ProgramWalker
+from repro.traces.workloads import specint_like
+
+
+def _run_policy(mode: str, rounds: int = 8, slice_len: int = 4000) -> float:
+    sources = EntropySources()
+    ctx_a = SecureFrontEndContext(ProcessContext(asid=1), sources)
+    ctx_b = SecureFrontEndContext(ProcessContext(asid=2), sources)
+    walker_a = ProgramWalker(specint_like(seed=100), seed=100)
+    walker_b = ProgramWalker(specint_like(seed=200), seed=200)
+    unit = BranchUnit(get_generation("M5"))
+    instructions = 0
+    for r in range(rounds):
+        for ctx, walker in ((ctx_a, walker_a), (ctx_b, walker_b)):
+            if mode == "encrypt":
+                unit.context_switch("encrypt", encrypt=ctx.cipher.encrypt,
+                                    decrypt=ctx.cipher.decrypt)
+            else:
+                unit.context_switch(mode)
+            trace = walker.walk(slice_len)
+            for rec in trace:
+                unit.stats.instructions += 1
+                instructions += 1
+                if rec.is_branch:
+                    unit.process_branch(rec)
+    stats = unit.stats
+    penalty = unit.config.mispredict_penalty
+    # Total front-end stall cycles per kilo-instruction: mispredict
+    # penalties plus fetch bubbles (flushing converts learned branches
+    # into decode resteers and relearning, which shows up here).
+    stall_pki = 1000.0 * (stats.mispredicts * penalty
+                          + stats.total_bubbles) / instructions
+    return stall_pki, 1000.0 * stats.mispredicts / instructions
+
+
+def test_flush_vs_encrypt_context_switch_cost(benchmark):
+    def run():
+        return {mode: _run_policy(mode)
+                for mode in ("none", "encrypt", "flush")}
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nCONTEXT-SWITCH POLICY (16 switches, 2 processes):")
+    for mode, (stalls, mpki) in res.items():
+        print(f"  {mode:8s}: front-end stall cyc/kinstr {stalls:7.1f}  "
+              f"MPKI {mpki:5.2f}")
+    # Encryption costs (almost) nothing vs the unprotected baseline...
+    assert res["encrypt"][0] <= res["none"][0] * 1.10 + 1.0
+    # ...while flushing pays a clear retraining tax.
+    assert res["flush"][0] > res["encrypt"][0] * 1.15

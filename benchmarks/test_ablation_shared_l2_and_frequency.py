@@ -1,0 +1,79 @@
+"""Two Table-I narratives as benches.
+
+1. The M3 transition from a 2MB L2 shared by 4 cores to a 512KB private
+   L2 (+4MB L3): under cluster load the private L2 wins; solo, the big
+   shared L2 is competitive.  ("Two examples are M3's reduction in L2
+   size due to the change from shared to private L2 ...", Section III.)
+2. Product-frequency performance: the paper simulates everything at
+   2.6 GHz for per-cycle comparability; this bench re-applies each
+   generation's product frequency (Table I row 2) to show shipped-device
+   performance.
+"""
+
+from repro.config import SIMULATION_FREQUENCY_GHZ, all_generations, get_generation
+from repro.core import GenerationSimulator
+from repro.traces import make_trace
+
+
+def test_shared_vs_private_l2_under_cluster_load(benchmark):
+    """A 768KB random working set: inside M1's solo 2MB L2, outside its
+    512KB contended quarter-share; M3's private 512KB (+4MB L3) is immune
+    to the co-runners."""
+    import random
+
+    from repro.memory import MemoryHierarchy
+
+    def measure(gen, corunners):
+        m = MemoryHierarchy(get_generation(gen), corunners=corunners)
+        rng = random.Random(9)
+        region = 768 * 1024
+        now = 0.0
+        lats = []
+        for i in range(60_000):
+            addr = 0x100_0000 + rng.randrange(0, region // 64) * 64
+            lat = m.access(0x0, addr, now=now)
+            now += 6.0 + lat * 0.25
+            if i > 30_000:  # after the working set is warm
+                lats.append(lat)
+        return sum(lats) / len(lats)
+
+    def run():
+        return {(gen, co): measure(gen, co)
+                for gen in ("M1", "M3") for co in (0, 3)}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nSHARED vs PRIVATE L2 (avg load latency, 768KB working set):")
+    for (gen, co), lat in rows.items():
+        label = "solo" if co == 0 else f"{co} co-runners"
+        print(f"  {gen} {label:12s}: {lat:6.1f} cycles")
+    # Contention hurts M1's shared L2 but not M3's private one.
+    assert rows[("M1", 3)] > rows[("M1", 0)] * 1.15
+    assert abs(rows[("M3", 3)] - rows[("M3", 0)]) < 2.0
+    # Under load, M3's private L2 + L3 beats M1's contended share.
+    assert rows[("M3", 3)] < rows[("M1", 3)]
+
+
+def test_product_frequency_performance(benchmark):
+    def run():
+        t = make_trace("mobile_like", seed=6, n_instructions=12_000)
+        rows = []
+        for cfg in all_generations():
+            r = GenerationSimulator(cfg).run(t)
+            ips_sim = r.ipc * SIMULATION_FREQUENCY_GHZ
+            ips_product = r.ipc * cfg.product_frequency_ghz
+            rows.append((cfg.name, cfg.product_frequency_ghz, r.ipc,
+                         ips_sim, ips_product))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nPRODUCT-FREQUENCY VIEW (GIPS = IPC x GHz):")
+    print(f"  {'gen':4s} {'GHz':>5s} {'IPC':>6s} {'GIPS@2.6':>9s} "
+          f"{'GIPS@product':>13s}")
+    for name, ghz, ipc, sim, prod in rows:
+        print(f"  {name:4s} {ghz:5.1f} {ipc:6.2f} {sim:9.2f} {prod:13.2f}")
+    # M2 shipped at 2.3GHz: its product performance can trail M1's even
+    # though its frequency-neutral IPC is equal or better — exactly why
+    # the paper compares at a fixed clock.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["M2"][2] >= by_name["M1"][2] * 0.98  # IPC parity
+    assert by_name["M6"][4] > by_name["M1"][4]          # shipped perf grows

@@ -1,0 +1,186 @@
+"""Ablation benches for the design choices the paper calls out.
+
+- Section IV-D: M4's L2BTB capacity + fill improvements gave BBench-like
+  workloads +2.8% in isolation.
+- SHP vs gshare vs bimodal (the predictor lineage).
+- Always-taken SHP filtering (aliasing reduction).
+- Integrated vs classic confirmation queue (Section VII-D).
+- Section IV-A pair statistics (lead branch taken 60% / 24% / 16%).
+- UOC power saving (Section VI).
+- Security cipher performance cost (Section V: "minimal performance
+  impact").
+"""
+
+import statistics
+from dataclasses import replace
+
+from repro.config import get_generation
+from repro.core import GenerationSimulator
+from repro.frontend import (
+    BimodalPredictor,
+    BranchUnit,
+    GsharePredictor,
+    ScaledHashedPerceptron,
+    ShpDirectionAdapter,
+    measure_conditional_mpki,
+)
+from repro.harness import branch_pair_statistics
+from repro.security import ProcessContext, SecureFrontEndContext
+from repro.traces import make_trace, standard_suite
+
+
+def test_ablation_l2btb_capacity_bbench(benchmark):
+    """M4's L2BTB doubling + fill latency/bandwidth improvement on
+    web-like (BBench-style) workloads: the paper reports +2.8% in
+    isolation; we check the direction and a nonzero gain."""
+    # Scaled ablation: our synthetic web slices have a few hundred static
+    # branches (vs tens of thousands in BBench), so both configs shrink the
+    # mBTB to create the same relative capacity pressure, isolating the
+    # L2BTB capacity + fill-speed delta that M4 improved.
+    m4 = get_generation("M4")
+    base = replace(m4, branch=replace(m4.branch, mbtb_entries=256,
+                                      vbtb_entries=64))
+    small = replace(base, branch=replace(
+        base.branch,
+        l2btb_entries=512,
+        l2btb_fill_latency=base.branch.l2btb_fill_latency + 4,
+        l2btb_fill_bandwidth=1,
+    ))
+    m4 = base
+
+    def run():
+        gains = []
+        for seed in (17, 53, 91):
+            t = make_trace("web_like", seed=seed, n_instructions=30_000)
+            ipc_small = GenerationSimulator(small).run(t).ipc
+            ipc_big = GenerationSimulator(m4).run(t).ipc
+            gains.append(100.0 * (ipc_big / ipc_small - 1.0))
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_gain = statistics.mean(gains)
+    print(f"\nABLATION L2BTB (paper: +2.8% on BBench): "
+          f"per-slice {['%.1f%%' % g for g in gains]}, mean {mean_gain:.1f}%")
+    assert mean_gain > -0.5  # capacity never hurts on average
+    assert max(gains) > 0.0
+
+
+def test_ablation_shp_vs_baselines(benchmark):
+    """The SHP beats gshare and bimodal on the conditional stream."""
+    def run():
+        results = {"shp": [], "gshare": [], "bimodal": []}
+        for seed in (3, 9):
+            t = make_trace("specint_like", seed=seed, n_instructions=25_000)
+            results["shp"].append(measure_conditional_mpki(
+                ShpDirectionAdapter(ScaledHashedPerceptron(8, 1024)), t))
+            results["gshare"].append(
+                measure_conditional_mpki(GsharePredictor(), t))
+            results["bimodal"].append(
+                measure_conditional_mpki(BimodalPredictor(), t))
+        return {k: statistics.mean(v) for k, v in results.items()}
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nABLATION predictors (cond MPKI): shp {r['shp']:.2f}  "
+          f"gshare {r['gshare']:.2f}  bimodal {r['bimodal']:.2f}")
+    assert r["shp"] < r["gshare"]
+    assert r["shp"] < r["bimodal"]
+
+
+def test_ablation_always_taken_filtering(benchmark):
+    """Always-taken branches skipping SHP updates reduces aliasing."""
+    class UnfilteredShp(ScaledHashedPerceptron):
+        def update(self, pc, taken, prediction=None):
+            self._seen_not_taken.setdefault(pc, True)
+            self._seen_not_taken[pc] = True  # defeat the filter
+            super().update(pc, taken, prediction)
+
+    def run():
+        filt, unfilt = [], []
+        for seed in (5, 23):
+            t = make_trace("web_like", seed=seed, n_instructions=25_000)
+            filt.append(measure_conditional_mpki(
+                ShpDirectionAdapter(ScaledHashedPerceptron(8, 1024)), t))
+            unfilt.append(measure_conditional_mpki(
+                ShpDirectionAdapter(UnfilteredShp(8, 1024)), t))
+        return statistics.mean(filt), statistics.mean(unfilt)
+
+    filt, unfilt = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nABLATION AT-filter: filtered {filt:.2f} MPKI vs "
+          f"unfiltered {unfilt:.2f} MPKI")
+    assert filt <= unfilt * 1.05  # filtering never costs much, usually wins
+
+
+def test_ablation_integrated_confirmation(benchmark):
+    """M3's integrated confirmation queue vs the classic queue on a
+    streaming workload: confirmations flow sooner, degree ramps, average
+    load latency drops."""
+    m3 = get_generation("M3")
+    classic = replace(m3, prefetch=replace(m3.prefetch,
+                                           integrated_confirmation=False,
+                                           confirmation_entries=32))
+
+    def run():
+        t = make_trace("stream_like", seed=8, n_instructions=20_000)
+        lat_classic = GenerationSimulator(classic).run(t).average_load_latency
+        lat_integrated = GenerationSimulator(m3).run(t).average_load_latency
+        return lat_classic, lat_integrated
+
+    lat_c, lat_i = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nABLATION confirmation queue (stream avg load latency): "
+          f"classic {lat_c:.1f} vs integrated {lat_i:.1f}")
+    assert lat_i <= lat_c * 1.10
+
+
+def test_branch_pair_statistics(benchmark):
+    """Section IV-A: lead branch TAKEN 60%, second paired branch TAKEN
+    24%, both not-taken 16% — we check the ordering and rough shape."""
+    traces = standard_suite(n_slices=12, slice_length=8_000, seed=41)
+    stats = benchmark.pedantic(branch_pair_statistics, args=(traces,),
+                               rounds=1, iterations=1)
+    print(f"\nPAIR STATS (paper 60/24/16): lead-taken "
+          f"{stats['lead_taken']:.0%}, second-taken "
+          f"{stats['second_taken']:.0%}, both-NT "
+          f"{stats['both_not_taken']:.0%}")
+    assert stats["lead_taken"] > 0.45
+    assert stats["second_taken"] > stats["both_not_taken"] * 0.5
+
+
+def test_uoc_power_saving(benchmark):
+    """Section VI: the UOC exists to save fetch/decode power on
+    repeatable kernels."""
+    def run():
+        t = make_trace("loop_kernel", seed=4, n_instructions=15_000)
+        r4 = GenerationSimulator(get_generation("M4")).run(t)
+        r5 = GenerationSimulator(get_generation("M5")).run(t)
+        def frontend_energy(r):
+            return sum(r.ledger.energy(e) for e in
+                       ("icache_fetch", "decode", "uoc_fetch", "uoc_build"))
+        return frontend_energy(r4), frontend_energy(r5), r5
+
+    e4, e5, r5 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nUOC POWER: M4 front-end energy {e4:.0f} -> M5 {e5:.0f} "
+          f"({100 * (1 - e5 / e4):.0f}% saved; "
+          f"{r5.uoc_fetch_fraction:.0%} of blocks from FetchMode)")
+    assert e5 < e4
+    assert r5.uoc_fetch_fraction > 0.2
+
+
+def test_security_cipher_cost(benchmark):
+    """Target encryption must cost ~nothing on the owning context
+    (Section V: inserted "without much impact to the timing paths")."""
+    ctx = SecureFrontEndContext(ProcessContext(asid=12))
+
+    def run():
+        t = make_trace("specint_like", seed=6, n_instructions=20_000)
+        plain = BranchUnit(get_generation("M5"))
+        plain_stats = plain.run_trace(t)
+        secured = BranchUnit(get_generation("M5"),
+                             encrypt=ctx.cipher.encrypt,
+                             decrypt=ctx.cipher.decrypt)
+        secured_stats = secured.run_trace(t)
+        return plain_stats, secured_stats
+
+    p, s = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSECURITY COST: mpki plain {p.mpki:.2f} vs encrypted "
+          f"{s.mpki:.2f} (same context decrypts perfectly)")
+    assert s.mpki == p.mpki  # the owner sees zero accuracy loss

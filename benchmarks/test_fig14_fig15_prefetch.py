@@ -1,0 +1,72 @@
+"""Figure 14 (one-pass/two-pass prefetching) and Figure 15 (the standalone
+prefetcher's adaptive state transitions)."""
+
+from repro.config import get_generation
+from repro.memory import MemoryHierarchy
+from repro.prefetch import StandalonePrefetcher, TwoPassController
+
+
+def test_fig14_two_pass_mode_switching(benchmark):
+    """L2-resident working sets flip the engine into one-pass mode (saving
+    L2 bandwidth); DRAM-resident streaming keeps it in two-pass mode
+    (saving L1 miss buffers)."""
+    def run():
+        m = MemoryHierarchy(get_generation("M1"))
+        now = 0.0
+        # Phase 1: stream far beyond the L2 - two-pass stays.
+        for i in range(1500):
+            m.access(0x0, 0x4000_0000 + i * 64, now=now)
+            now += 20.0
+        phase1_mode = m.two_pass.mode
+        # Phase 2: loop over an L2-resident (but L1-exceeding) window so
+        # every rep misses the L1 while first passes hit the L2.
+        for rep in range(6):
+            for i in range(2000):
+                m.access(0x0, 0x9000_0000 + i * 64, now=now)
+                now += 20.0
+        phase2_mode = m.two_pass.mode
+        return phase1_mode, phase2_mode, m.two_pass
+
+    p1, p2, tp = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nFIG 14 - DRAM streaming mode: {p1}; L2-resident mode: {p2}; "
+          f"switches {tp.mode_switches}, first-pass issues "
+          f"{tp.first_pass_issues}, one-pass issues {tp.one_pass_issues}")
+    assert p1 == "two"
+    assert p2 == "one"
+
+
+def test_fig15_adaptive_state_transitions(benchmark):
+    """Low-confidence phantoms -> promotion on confirmations -> aggressive
+    issue -> demotion when the phase turns unpredictable."""
+    def run():
+        s = StandalonePrefetcher()
+        timeline = []
+        # Prefetch-friendly phase.
+        for i in range(80):
+            s.observe(0x100_0000 + i * 64)
+        timeline.append(("friendly", s.mode, s.promotions, s.demotions))
+        # Unpredictable phase: short broken runs.
+        import random
+        rng = random.Random(1)
+        for i in range(4000):
+            if s.mode == s.LOW:
+                break
+            base = rng.randrange(0, 1 << 24) & ~63
+            for k in range(3):
+                s.observe(base + k * 64)
+        timeline.append(("hostile", s.mode, s.promotions, s.demotions))
+        # Friendly again: re-promotes.
+        for i in range(200):
+            s.observe(0x200_0000 + i * 64)
+        timeline.append(("friendly2", s.mode, s.promotions, s.demotions))
+        return s, timeline
+
+    s, timeline = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFIG 15 - adaptive prefetcher phases:")
+    for phase, mode, promos, demos in timeline:
+        print(f"  {phase:10s} mode={mode:4s} promotions={promos} "
+              f"demotions={demos}")
+    assert timeline[0][1] == s.HIGH     # promoted in the friendly phase
+    assert timeline[1][1] == s.LOW      # demoted in the hostile phase
+    assert timeline[2][1] == s.HIGH     # recovered
+    assert s.phantom > 0                # low mode used phantom prefetches

@@ -1,0 +1,68 @@
+"""Figures 9, 16 and 17: the cross-generation population curves, plus the
+paper's headline summary numbers (MPKI 3.62->2.54, load latency 14.9->8.3,
+IPC 1.06->2.71 / +20.6% per year)."""
+
+from repro.harness import (
+    figure9_mpki,
+    figure16_load_latency,
+    figure17_ipc,
+    overall_summary,
+    render_curves,
+)
+
+
+def test_fig9_mpki_population(benchmark, population):
+    curves = benchmark.pedantic(figure9_mpki, args=(population,),
+                                rounds=1, iterations=1)
+    print("\n" + render_curves(curves, "FIG 9 - MPKI per slice "
+                               "(sorted, clipped at 20; M2 omitted)"))
+    assert "M2" not in curves  # the paper omits M2 (no predictor change)
+    mean = lambda s: sum(s) / len(s)
+    # Later generations do not regress the population mean.
+    assert mean(curves["M6"]) <= mean(curves["M1"]) * 1.02
+    # The predictable left side is flat near zero for every generation.
+    for series in curves.values():
+        assert series[0] < 2.0
+
+
+def test_fig16_load_latency_population(benchmark, population):
+    curves = benchmark.pedantic(figure16_load_latency, args=(population,),
+                                rounds=1, iterations=1)
+    print("\n" + render_curves(curves,
+                               "FIG 16 - avg load latency per slice (sorted)"))
+    mean = lambda s: sum(s) / len(s)
+    # Monotone-on-average decline from M3 onward; M6 well below M1.
+    assert mean(curves["M6"]) < mean(curves["M4"]) < mean(curves["M3"])
+    assert mean(curves["M6"]) < 0.75 * mean(curves["M1"])
+    # Cascading-load plateau: M4+ slices bottom out below M1's L1 floor.
+    assert min(curves["M4"]) < min(curves["M1"])
+
+
+def test_fig17_ipc_population(benchmark, population):
+    curves = benchmark.pedantic(figure17_ipc, args=(population,),
+                                rounds=1, iterations=1)
+    print("\n" + render_curves(curves, "FIG 17 - IPC per slice (sorted)"))
+    mean = lambda s: sum(s) / len(s)
+    means = [mean(curves[g]) for g in ("M1", "M2", "M3", "M4", "M5", "M6")]
+    # IPC means rise monotonically across generations.
+    assert all(b >= a * 0.99 for a, b in zip(means, means[1:]))
+    # Headline growth: M6/M1 factor comparable to the paper's 2.56x.
+    assert means[-1] / means[0] > 1.8
+    # High-IPC slices: M1 capped by the 4-wide front end, M6 reaches higher.
+    assert max(curves["M6"]) > max(curves["M1"])
+
+
+def test_overall_summary(benchmark, population):
+    s = benchmark.pedantic(overall_summary, args=(population,),
+                           rounds=1, iterations=1)
+    print("\nOVERALL (paper: MPKI 3.62->2.54, latency 14.9->8.3, "
+          "IPC 1.06->2.71 @ +20.6%/yr)")
+    for g in ("M1", "M2", "M3", "M4", "M5", "M6"):
+        print(f"  {g}: mpki {s[g]['mpki']:5.2f}  "
+              f"load-lat {s[g]['load_latency']:6.1f}  ipc {s[g]['ipc']:4.2f}")
+    print(f"  IPC growth/yr {s['summary']['ipc_growth_per_year_pct']:.1f}% "
+          f"(paper 20.6%)  latency -{s['summary']['latency_reduction_pct']:.0f}% "
+          f"(paper -44%)  MPKI -{s['summary']['mpki_reduction_pct']:.0f}% "
+          f"(paper -30%)")
+    assert s["summary"]["ipc_growth_per_year_pct"] > 10.0
+    assert s["summary"]["latency_reduction_pct"] > 20.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design exploration: sketching an "M7" beyond the paper.
+
+The paper ends with M6, "a sixth completed design".  Because every
+mechanism here is driven by :class:`~repro.config.GenerationConfig` data,
+exploring a successor is a `dataclasses.replace` away.  This example
+builds a hypothetical M7 — wider, bigger L2BTB and UOC, longer GHIST,
+deeper MLP — runs it against M6 on the workload families, and prints
+where each change pays.
+
+Run:  python examples/design_exploration.py
+"""
+
+from dataclasses import replace
+
+from repro.config import get_generation
+from repro.core import GenerationSimulator
+from repro.serialization import config_to_json
+from repro.traces import make_trace
+
+
+def make_m7():
+    m6 = get_generation("M6")
+    return replace(
+        m6,
+        name="M7",
+        year_index=7,
+        process_node="4nm (hypothetical)",
+        product_frequency_ghz=3.0,
+        width=10,
+        fetch_width=10,
+        rob_size=320,
+        simple_alus=6,
+        l1d_outstanding_misses=64,
+        branch=replace(
+            m6.branch,
+            shp_tables=16,
+            shp_rows=4096,           # another aliasing halving
+            ghist_bits=256,          # longer history
+            l2btb_entries=65536,
+            mbtb_entries=6144,
+            indirect_hash_entries=4096,
+            mrb_entries=64,
+        ),
+        prefetch=replace(m6.prefetch, max_degree=64, stride_streams=24),
+        uoc_uops=768,
+        uoc_uops_per_cycle=10,
+    )
+
+
+def main() -> None:
+    m6 = get_generation("M6")
+    m7 = make_m7()
+    print("hypothetical M7 config (JSON excerpt):")
+    print("\n".join(config_to_json(m7).splitlines()[:8]) + "\n  ...\n")
+
+    fams = ("loop_kernel", "specint_like", "web_like", "pointer_chase",
+            "stream_like")
+    print(f"{'family':14s} {'M6 IPC':>8s} {'M7 IPC':>8s} {'gain':>7s}")
+    for fam in fams:
+        t = make_trace(fam, seed=13, n_instructions=15_000)
+        r6 = GenerationSimulator(m6).run(t)
+        r7 = GenerationSimulator(m7).run(t)
+        gain = 100.0 * (r7.ipc / r6.ipc - 1.0)
+        print(f"{fam:14s} {r6.ipc:8.2f} {r7.ipc:8.2f} {gain:6.1f}%")
+    print("\nWidth-bound kernels gain from the 10-wide front end; "
+          "memory-bound ones\nfrom the deeper MLP and degree; web-style "
+          "code from the bigger BTBs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of "Evolution of the Samsung Exynos CPU Microarchitecture"
+(ISCA 2020, Industry Track).
+
+Top-level API:
+
+- :mod:`repro.config` — the six generation configurations (Table I).
+- :mod:`repro.traces` — synthetic workload families and the standard
+  evaluation population.
+- :mod:`repro.frontend` — SHP/uBTB/BTB/VPC/RAS/MRB branch prediction.
+- :mod:`repro.security` — CONTEXT_HASH target encryption (Spectre v2).
+- :mod:`repro.uop_cache` — the micro-operation cache and its mode machine.
+- :mod:`repro.memory` — caches, TLBs, DRAM path, coordinated management.
+- :mod:`repro.prefetch` — multi-stride, SMS, Buddy, standalone engines.
+- :mod:`repro.core` — the scoreboard timing model and
+  :class:`~repro.core.simulator.GenerationSimulator`.
+- :mod:`repro.harness` — regenerates every table and figure.
+
+Quick start::
+
+    from repro import simulate, make_trace
+    result = simulate("M5", make_trace("specint_like", seed=1))
+    print(result.ipc, result.mpki, result.average_load_latency)
+"""
+
+from .config import (  # noqa: F401
+    GENERATIONS,
+    GENERATION_ORDER,
+    GenerationConfig,
+    all_generations,
+    get_generation,
+)
+from .core import GenerationSimulator, SimulationResult, simulate  # noqa: F401
+from .traces import Trace, TraceRecord, make_trace, standard_suite  # noqa: F401
+
+__version__ = "1.0.0"

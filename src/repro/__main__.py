@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``simulate``
+    One (family, seed, generation) run; prints IPC/MPKI/latency and the
+    per-structure statistics.
+``tables``
+    Render Tables I, II and III (and IV with ``--population``).
+``population``
+    Run the standard suite across all generations; prints the Figure
+    9/16/17 ASCII curves and the headline summary.
+``fig1``
+    The GHIST-length sweep of Figure 1.
+``report``
+    Compose every table and population figure into one document.
+``families``
+    List the available workload families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import GENERATION_ORDER
+from .core import GenerationSimulator
+from .config import get_generation
+from .traces import FAMILIES, make_trace
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = make_trace(args.family, seed=args.seed,
+                       n_instructions=args.length)
+    gens = [args.gen.upper()] if args.gen != "all" else list(GENERATION_ORDER)
+    print(f"workload {trace.name}: {len(trace)} uops, "
+          f"{trace.branch_count} branches, {trace.load_count} loads")
+    print(f"{'gen':4s} {'IPC':>6s} {'MPKI':>7s} {'load-lat':>9s} "
+          f"{'bubbles/br':>11s} {'dram':>6s}")
+    for g in gens:
+        r = GenerationSimulator(get_generation(g)).run(trace)
+        print(f"{g:4s} {r.ipc:6.2f} {r.mpki:7.2f} "
+              f"{r.average_load_latency:9.1f} "
+              f"{r.branch.bubbles_per_branch:11.2f} "
+              f"{r.memory.dram_accesses:6d}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .harness import (render_table1, render_table2, render_table3,
+                          render_table4, run_population)
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+    if args.population:
+        pop = run_population(n_slices=args.slices,
+                             slice_length=args.length)
+        print()
+        print(render_table4(pop))
+    return 0
+
+
+def _cmd_population(args: argparse.Namespace) -> int:
+    from .harness import (figure9_mpki, figure16_load_latency, figure17_ipc,
+                          overall_summary, render_curves, run_population)
+    pop = run_population(n_slices=args.slices, slice_length=args.length,
+                         seed=args.seed)
+    print(render_curves(figure17_ipc(pop), "FIG 17 - IPC per slice"))
+    print()
+    print(render_curves(figure9_mpki(pop),
+                        "FIG 9 - MPKI per slice (clipped at 20)"))
+    print()
+    print(render_curves(figure16_load_latency(pop),
+                        "FIG 16 - avg load latency per slice"))
+    s = overall_summary(pop)
+    print("\nsummary:")
+    for g in GENERATION_ORDER:
+        print(f"  {g}: ipc {s[g]['ipc']:.2f}  mpki {s[g]['mpki']:.2f}  "
+              f"load-lat {s[g]['load_latency']:.1f}")
+    print(f"  IPC growth/yr: {s['summary']['ipc_growth_per_year_pct']:.1f}% "
+          f"(paper 20.6%)")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from .harness import figure1_ghist_sweep
+    sweep = figure1_ghist_sweep(n_traces=args.traces,
+                                trace_length=args.length)
+    print("FIG 1 - avg MPKI vs GHIST range bits")
+    for bits, mpki in sweep.items():
+        print(f"  {bits:4d}: {mpki:5.2f} " + "#" * int(mpki * 8))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .harness.report import build_report
+    text = build_report(n_slices=args.slices, slice_length=args.length,
+                        include_fig1=not args.no_fig1)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_families(args: argparse.Namespace) -> int:
+    for name in sorted(FAMILIES):
+        doc = (FAMILIES[name].__doc__ or "").strip().splitlines()
+        print(f"  {name:14s} {doc[0] if doc else ''}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Exynos M-series microarchitecture reproduction "
+                    "(ISCA 2020)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate one workload")
+    sim.add_argument("--family", default="specint_like",
+                     choices=sorted(FAMILIES))
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--length", type=int, default=20_000)
+    sim.add_argument("--gen", default="all",
+                     help="M1..M6 or 'all'")
+    sim.set_defaults(func=_cmd_simulate)
+
+    tab = sub.add_parser("tables", help="render Tables I-IV")
+    tab.add_argument("--population", action="store_true",
+                     help="also run the population for Table IV")
+    tab.add_argument("--slices", type=int, default=24)
+    tab.add_argument("--length", type=int, default=12_000)
+    tab.set_defaults(func=_cmd_tables)
+
+    pop = sub.add_parser("population", help="Figures 9/16/17 + summary")
+    pop.add_argument("--slices", type=int, default=24)
+    pop.add_argument("--length", type=int, default=12_000)
+    pop.add_argument("--seed", type=int, default=2020)
+    pop.set_defaults(func=_cmd_population)
+
+    f1 = sub.add_parser("fig1", help="GHIST sweep (Figure 1)")
+    f1.add_argument("--traces", type=int, default=5)
+    f1.add_argument("--length", type=int, default=30_000)
+    f1.set_defaults(func=_cmd_fig1)
+
+    rep = sub.add_parser("report", help="full reproduction report")
+    rep.add_argument("--slices", type=int, default=24)
+    rep.add_argument("--length", type=int, default=12_000)
+    rep.add_argument("--out", default=None, help="write to a file")
+    rep.add_argument("--no-fig1", action="store_true")
+    rep.set_defaults(func=_cmd_report)
+
+    fam = sub.add_parser("families", help="list workload families")
+    fam.set_defaults(func=_cmd_families)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,522 @@
+"""Per-generation microarchitectural configuration (paper Table I).
+
+Every simulator component in this package is parameterized by a
+:class:`GenerationConfig`.  The six shipped/completed designs (M1 through M6)
+are provided as module-level constants and through :func:`get_generation`.
+
+All performance experiments run every generation at the same 2.6 GHz clock,
+as the paper does (Section III), so cycle-based metrics are comparable
+across generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+#: Simulation clock shared by all generations (Section III).
+SIMULATION_FREQUENCY_GHZ = 2.6
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    ``sector_bytes`` models the L2's sectored tags (two 64B lines share one
+    128B tag, Section VIII-B); it equals ``line_bytes`` for non-sectored
+    caches.
+    """
+
+    size_kib: int
+    ways: int
+    line_bytes: int = 64
+    sector_bytes: int = 64
+    hit_latency: float = 4.0
+    banks: int = 1
+    #: Data bandwidth in bytes per cycle (Table I "L2 BW" row).
+    bandwidth_bytes_per_cycle: int = 32
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_kib * 1024
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """One TLB level, parameterized as in Table I: total pages as
+    ``entries x ways x sectors`` ("Translation parameters are shown as total
+    pages (#entries / #ways / #sectors)")."""
+
+    entries: int
+    ways: int
+    sectors: int = 1
+    hit_latency: float = 1.0
+
+    @property
+    def total_pages(self) -> int:
+        return self.entries * self.sectors
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Branch prediction resources for one generation (Section IV)."""
+
+    #: Scaled Hashed Perceptron geometry.
+    shp_tables: int
+    shp_rows: int
+    shp_weight_bits: int = 8
+    ghist_bits: int = 165
+    phist_bits: int = 80
+    #: mBTB capacity in branch entries (8 per 128B line, Figure 2).
+    mbtb_entries: int = 2048
+    #: vBTB spill capacity in branch entries.
+    vbtb_entries: int = 512
+    #: L2BTB capacity in branch entries.
+    l2btb_entries: int = 4096
+    #: L2BTB-to-mBTB fill latency (cycles) and branches filled per cycle.
+    l2btb_fill_latency: int = 4
+    l2btb_fill_bandwidth: int = 2
+    #: Micro-BTB graph capacity (nodes); M3 doubled it, M5 shrank it.
+    ubtb_entries: int = 64
+    #: Extra uBTB entries restricted to unconditional branches (M3+).
+    ubtb_uncond_only_entries: int = 0
+    #: Return address stack depth.
+    ras_entries: int = 16
+    #: Maximum VPC virtual-branch chain length (Figure 3).
+    vpc_max_targets: int = 16
+    #: M6 hybrid indirect predictor: dedicated indirect target hash table.
+    indirect_hash_entries: int = 0
+    #: Length of the VPC prefix retained ahead of the hash lookup (Figure 8).
+    vpc_hybrid_targets: int = 5
+    #: Taken-branch redirect accelerators (Section IV-C/E).
+    has_1at: bool = False
+    has_zat_zot: bool = False
+    has_empty_line_opt: bool = False
+    #: Mispredict Recovery Buffer entries (Section IV-E); 0 disables.
+    mrb_entries: int = 0
+    #: Taken-branch redirect bubbles for a plain mBTB prediction.
+    mbtb_taken_bubbles: int = 2
+    #: Bubbles after a uBTB lock (zero-bubble predictor).
+    ubtb_taken_bubbles: int = 0
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Prefetch engine feature selection per generation (Sections VII/VIII)."""
+
+    #: Multi-stride L1 prefetcher is present on all generations.
+    stride_streams: int = 8
+    stride_max_components: int = 4
+    #: Classic confirmation queue entries (M1/M2) or integrated queue depth.
+    confirmation_entries: int = 32
+    integrated_confirmation: bool = False
+    #: Dynamic-degree window limits.
+    min_degree: int = 2
+    max_degree: int = 16
+    #: Spatial Memory Streaming engine (M3+).
+    has_sms: bool = False
+    sms_regions: int = 64
+    sms_region_bytes: int = 1024
+    #: Buddy sector prefetcher at L2 (M4+).
+    has_buddy: bool = False
+    #: Standalone lower-level-cache prefetcher (M5+).
+    has_standalone: bool = False
+    standalone_streams: int = 16
+
+
+@dataclass(frozen=True)
+class MemoryLatencyConfig:
+    """DRAM-path latency features (Section IX) plus baseline timings."""
+
+    #: Uncontended DRAM access latency seen by the cluster, in core cycles,
+    #: before any of the fast-path optimizations below.
+    dram_base_latency: float = 180.0
+    #: Additional latency for a DRAM page miss (activate+precharge).
+    dram_page_miss_penalty: float = 40.0
+    #: One-way latency of one asynchronous domain crossing, in core cycles.
+    async_crossing_latency: float = 8.0
+    #: M4+: dedicated DRAM->cluster data fast path (bypasses one crossing
+    #: each way plus interconnect queueing).
+    has_data_fast_path: bool = False
+    #: M5+: speculative cache-bypass read using the snoop-filter directory.
+    has_speculative_read: bool = False
+    #: M5+: early page activate hint over a sideband interface.
+    has_early_page_activate: bool = False
+    #: Queueing latency inside the interconnect per direction.
+    interconnect_queue_latency: float = 10.0
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Complete description of one Exynos M-series generation.
+
+    Field values for the shipped designs mirror the paper's Table I; latency
+    rows are in core cycles at the common 2.6 GHz simulation point.
+    """
+
+    name: str
+    year_index: int
+    process_node: str
+    product_frequency_ghz: float
+
+    # Caches (Table I, Table III).
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(64, 4))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32, 8))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(2048, 16))
+    l3: Optional[CacheConfig] = None
+    l2_shared_by: int = 4
+    #: Average latencies as reported in Table I (cycles).
+    l1_hit_latency: float = 4.0
+    l1_cascade_latency: Optional[float] = None  # M4+: load-load cascading
+    l2_avg_latency: float = 22.0
+    l3_avg_latency: Optional[float] = None
+
+    # Translation (Table I).
+    l1i_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(64, 64, 4))
+    l1d_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(32, 32, 1))
+    l15d_tlb: Optional[TlbConfig] = None
+    l2_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(1024, 4, 1))
+
+    # Execution resources (Table I).
+    width: int = 4  # decode/rename/retire width
+    simple_alus: int = 2  # "S" pipes: add/shift/logical
+    complex_alus: int = 0  # "C" pipes: simple + mul/indirect-branch
+    complex_div_alus: int = 1  # "CD" pipes: C plus divide
+    branch_pipes: int = 1  # "BR" direct-branch pipes
+    load_pipes: int = 1
+    store_pipes: int = 1
+    generic_mem_pipes: int = 0  # "G" pipes: either load or store
+    fp_pipes: int = 2
+    fmac_pipes: int = 1
+    int_prf: int = 96
+    fp_prf: int = 96
+    rob_size: int = 96
+    mispredict_penalty: int = 14
+    #: FP latencies (FMAC, FMUL, FADD) in cycles.
+    fp_latencies: Tuple[int, int, int] = (5, 4, 3)
+    #: Zero-cycle integer register-register moves via rename (M3+).
+    has_zero_cycle_moves: bool = False
+    #: Load-load cascading: a load can feed a subsequent load at 3 cycles.
+    has_load_load_cascading: bool = False
+
+    # L1D outstanding misses (Section VII): fill buffers or MAB entries.
+    l1d_outstanding_misses: int = 8
+    uses_mab: bool = False  # data-less memory address buffer (M4+)
+
+    # Front-end feature blocks.
+    branch: BranchPredictorConfig = field(
+        default_factory=lambda: BranchPredictorConfig(shp_tables=8, shp_rows=1024)
+    )
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    memlat: MemoryLatencyConfig = field(default_factory=MemoryLatencyConfig)
+    #: Micro-op cache capacity in micro-ops (0 = no UOC; M5+ have 384).
+    uoc_uops: int = 0
+    uoc_uops_per_cycle: int = 6
+    #: Fetch width in instructions per cycle.
+    fetch_width: int = 4
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this generation."""
+        l3 = f"{self.l3.size_kib}KB" if self.l3 else "-"
+        return (
+            f"{self.name}: {self.width}-wide, ROB {self.rob_size}, "
+            f"L1D {self.l1d.size_kib}KB, L2 {self.l2.size_kib}KB, L3 {l3}, "
+            f"SHP {self.branch.shp_tables}x{self.branch.shp_rows}"
+        )
+
+
+def _m1() -> GenerationConfig:
+    return GenerationConfig(
+        name="M1",
+        year_index=1,
+        process_node="14nm",
+        product_frequency_ghz=2.6,
+        l1i=CacheConfig(64, 4, hit_latency=3.0),
+        l1d=CacheConfig(32, 8, hit_latency=4.0),
+        l2=CacheConfig(2048, 16, sector_bytes=128, hit_latency=22.0,
+                       bandwidth_bytes_per_cycle=16),
+        l3=None,
+        l2_shared_by=4,
+        l1_hit_latency=4.0,
+        l2_avg_latency=22.0,
+        l3_avg_latency=None,
+        l1i_tlb=TlbConfig(64, 64, 4),
+        l1d_tlb=TlbConfig(32, 32, 1),
+        l15d_tlb=None,
+        l2_tlb=TlbConfig(1024, 4, 1),
+        width=4,
+        fetch_width=4,
+        simple_alus=2,
+        complex_alus=0,
+        complex_div_alus=1,
+        branch_pipes=1,
+        load_pipes=1,
+        store_pipes=1,
+        generic_mem_pipes=0,
+        fp_pipes=2,
+        fmac_pipes=1,
+        int_prf=96,
+        fp_prf=96,
+        rob_size=96,
+        mispredict_penalty=14,
+        fp_latencies=(5, 4, 3),
+        l1d_outstanding_misses=8,
+        branch=BranchPredictorConfig(
+            shp_tables=8,
+            shp_rows=1024,
+            ghist_bits=165,
+            phist_bits=80,
+            mbtb_entries=2048,
+            vbtb_entries=512,
+            l2btb_entries=4096,
+            l2btb_fill_latency=6,
+            l2btb_fill_bandwidth=1,
+            ubtb_entries=64,
+            ras_entries=16,
+        ),
+        prefetch=PrefetchConfig(
+            stride_streams=8,
+            confirmation_entries=32,
+            integrated_confirmation=False,
+            min_degree=2,
+            max_degree=8,
+        ),
+        memlat=MemoryLatencyConfig(),
+        uoc_uops=0,
+    )
+
+
+def _m2() -> GenerationConfig:
+    # "No significant resource changes from M1 to M2", but several efficiency
+    # improvements including deeper queues (Section III): slightly deeper
+    # out-of-order window and better prefetch coverage.
+    m1 = _m1()
+    return replace(
+        m1,
+        name="M2",
+        year_index=2,
+        process_node="10nm LPE",
+        product_frequency_ghz=2.3,
+        rob_size=100,
+        prefetch=replace(m1.prefetch, max_degree=12, confirmation_entries=48),
+    )
+
+
+def _m3() -> GenerationConfig:
+    return GenerationConfig(
+        name="M3",
+        year_index=3,
+        process_node="10nm LPP",
+        product_frequency_ghz=2.7,
+        l1i=CacheConfig(64, 4, hit_latency=3.0),
+        l1d=CacheConfig(64, 8, hit_latency=4.0),
+        l2=CacheConfig(512, 8, sector_bytes=128, hit_latency=12.0,
+                       bandwidth_bytes_per_cycle=32),
+        l3=CacheConfig(4096, 16, banks=4, hit_latency=37.0),
+        l2_shared_by=1,
+        l1_hit_latency=4.0,
+        l2_avg_latency=12.0,
+        l3_avg_latency=37.0,
+        l1i_tlb=TlbConfig(64, 64, 8),
+        l1d_tlb=TlbConfig(32, 32, 1),
+        l15d_tlb=TlbConfig(128, 4, 4, hit_latency=2.0),
+        l2_tlb=TlbConfig(1024, 4, 4),
+        width=6,
+        fetch_width=6,
+        simple_alus=2,
+        complex_alus=1,
+        complex_div_alus=1,
+        branch_pipes=1,
+        load_pipes=2,
+        store_pipes=1,
+        generic_mem_pipes=0,
+        fp_pipes=3,
+        fmac_pipes=3,
+        int_prf=192,
+        fp_prf=192,
+        rob_size=228,
+        mispredict_penalty=16,
+        fp_latencies=(4, 3, 2),
+        has_zero_cycle_moves=True,
+        l1d_outstanding_misses=12,
+        branch=BranchPredictorConfig(
+            shp_tables=8,
+            shp_rows=2048,  # M3 doubled SHP rows
+            ghist_bits=165,
+            phist_bits=80,
+            mbtb_entries=3072,
+            vbtb_entries=768,
+            l2btb_entries=8192,  # doubled L2BTB
+            l2btb_fill_latency=6,
+            l2btb_fill_bandwidth=1,
+            ubtb_entries=64,
+            ubtb_uncond_only_entries=64,  # doubled graph, uncond-only adds
+            ras_entries=32,
+            has_1at=True,
+        ),
+        prefetch=PrefetchConfig(
+            stride_streams=12,
+            confirmation_entries=16,
+            integrated_confirmation=True,
+            min_degree=4,
+            max_degree=16,
+            has_sms=True,
+        ),
+        memlat=MemoryLatencyConfig(),
+        uoc_uops=0,
+    )
+
+
+def _m4() -> GenerationConfig:
+    m3 = _m3()
+    return replace(
+        m3,
+        name="M4",
+        year_index=4,
+        process_node="8nm LPP",
+        product_frequency_ghz=2.7,
+        l1d=CacheConfig(64, 4, hit_latency=4.0),
+        l2=CacheConfig(1024, 8, sector_bytes=128, hit_latency=12.0,
+                       bandwidth_bytes_per_cycle=32),
+        l3=CacheConfig(3072, 16, banks=3, hit_latency=37.0),
+        l1_cascade_latency=3.0,
+        l1d_tlb=TlbConfig(48, 48, 1),
+        load_pipes=1,
+        store_pipes=1,
+        generic_mem_pipes=1,
+        fp_prf=176,
+        has_load_load_cascading=True,
+        l1d_outstanding_misses=32,
+        uses_mab=True,
+        branch=replace(
+            m3.branch,
+            l2btb_entries=16384,  # doubled again (4x M1)
+            l2btb_fill_latency=4,  # latency slightly reduced
+            l2btb_fill_bandwidth=2,  # bandwidth improved 2x
+        ),
+        prefetch=replace(m3.prefetch, has_buddy=True, min_degree=6,
+                         max_degree=24),
+        memlat=MemoryLatencyConfig(has_data_fast_path=True),
+    )
+
+
+def _m5() -> GenerationConfig:
+    m4 = _m4()
+    return replace(
+        m4,
+        name="M5",
+        year_index=5,
+        process_node="7nm",
+        product_frequency_ghz=2.8,
+        l2=CacheConfig(2048, 8, sector_bytes=128, hit_latency=13.5,
+                       bandwidth_bytes_per_cycle=32),
+        l3=CacheConfig(3072, 12, banks=2, hit_latency=30.0),
+        l2_shared_by=2,
+        l2_avg_latency=13.5,
+        l3_avg_latency=30.0,
+        simple_alus=4,
+        complex_alus=1,
+        complex_div_alus=1,
+        branch_pipes=1,
+        branch=replace(
+            m4.branch,
+            shp_tables=16,  # 8 -> 16 tables
+            shp_rows=2048,
+            ghist_bits=206,  # +25% GHIST
+            phist_bits=80,
+            l2btb_entries=16384,
+            ubtb_entries=48,  # uBTB area reduced
+            ubtb_uncond_only_entries=48,
+            has_zat_zot=True,
+            has_empty_line_opt=True,
+            mrb_entries=48,
+        ),
+        prefetch=replace(m4.prefetch, has_standalone=True, min_degree=8,
+                         max_degree=32),
+        memlat=MemoryLatencyConfig(
+            has_data_fast_path=True,
+            has_speculative_read=True,
+            has_early_page_activate=True,
+        ),
+        uoc_uops=384,
+    )
+
+
+def _m6() -> GenerationConfig:
+    m5 = _m5()
+    return replace(
+        m5,
+        name="M6",
+        year_index=6,
+        process_node="5nm",
+        product_frequency_ghz=2.8,
+        l1i=CacheConfig(128, 4, hit_latency=3.0),
+        l1d=CacheConfig(128, 8, hit_latency=4.0),
+        l2=CacheConfig(2048, 8, sector_bytes=128, hit_latency=13.5,
+                       bandwidth_bytes_per_cycle=64),
+        l3=CacheConfig(4096, 16, banks=2, hit_latency=30.0),
+        l1i_tlb=TlbConfig(64, 64, 8),
+        l1d_tlb=TlbConfig(128, 128, 1),
+        l2_tlb=TlbConfig(2048, 4, 4),
+        width=8,
+        fetch_width=8,
+        simple_alus=4,
+        complex_alus=0,
+        complex_div_alus=2,
+        branch_pipes=2,
+        fp_pipes=4,
+        fmac_pipes=4,
+        int_prf=224,
+        fp_prf=224,
+        rob_size=256,
+        l1d_outstanding_misses=40,
+        branch=replace(
+            m5.branch,
+            mbtb_entries=4608,  # mBTB +50% vs M5
+            vbtb_entries=1024,
+            l2btb_entries=32768,
+            indirect_hash_entries=1024,  # dedicated indirect target storage
+            vpc_hybrid_targets=5,
+        ),
+        prefetch=replace(m5.prefetch, max_degree=48, stride_streams=16),
+        uoc_uops=384,
+        uoc_uops_per_cycle=8,
+    )
+
+
+#: The six generations covered by the paper.
+M1 = _m1()
+M2 = _m2()
+M3 = _m3()
+M4 = _m4()
+M5 = _m5()
+M6 = _m6()
+
+GENERATIONS: Dict[str, GenerationConfig] = {
+    g.name: g for g in (M1, M2, M3, M4, M5, M6)
+}
+
+GENERATION_ORDER: Tuple[str, ...] = ("M1", "M2", "M3", "M4", "M5", "M6")
+
+
+def get_generation(name: str) -> GenerationConfig:
+    """Look up a generation config by name (``"M1"`` .. ``"M6"``)."""
+    try:
+        return GENERATIONS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown generation {name!r}; expected one of {GENERATION_ORDER}"
+        ) from None
+
+
+def all_generations() -> Tuple[GenerationConfig, ...]:
+    """All six generations in chronological order."""
+    return tuple(GENERATIONS[n] for n in GENERATION_ORDER)

@@ -1,0 +1,126 @@
+"""Per-generation whole-core simulator.
+
+Composes the branch unit (Section IV), the memory hierarchy with all
+prefetchers (Sections VII-IX), the UOC controller (Section VI) and the
+scoreboard timing model into the object the harness runs: one
+:class:`GenerationSimulator` per (generation, trace) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import GenerationConfig, get_generation
+from ..frontend.predictor import BranchStats, BranchUnit
+from ..memory.hierarchy import MemoryHierarchy, MemoryStats
+from ..memory.icache import InstructionCache
+from ..power import EnergyLedger
+from ..traces.types import Trace
+from ..uop_cache import UocController, UocMode, UopCache
+from .scoreboard import CoreStats, Scoreboard
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces, for tables/figures and tests."""
+
+    generation: str
+    trace_name: str
+    core: CoreStats
+    branch: BranchStats
+    memory: MemoryStats
+    ledger: EnergyLedger
+    uoc_fetch_fraction: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    @property
+    def mpki(self) -> float:
+        return 1000.0 * self.core.branch_mispredicts / max(
+            1, self.core.instructions)
+
+    @property
+    def average_load_latency(self) -> float:
+        return self.memory.average_load_latency
+
+
+class GenerationSimulator:
+    """One core instance of a given generation.
+
+    ``corunners`` activates shared-L2 contention from cluster-mates (only
+    meaningful on generations whose L2 is shared, Table I).
+    """
+
+    def __init__(self, config: GenerationConfig, corunners: int = 0) -> None:
+        if isinstance(config, str):
+            config = get_generation(config)
+        self.config = config
+        self.ledger = EnergyLedger()
+        self.branch_unit = BranchUnit(config, ledger=self.ledger)
+        self.memory = MemoryHierarchy(config, ledger=self.ledger,
+                                      corunners=corunners)
+        self.uoc: Optional[UocController] = None
+        if config.uoc_uops:
+            self.uoc = UocController(
+                UopCache(config.uoc_uops, config.uoc_uops_per_cycle),
+                ledger=self.ledger,
+            )
+        self.icache = InstructionCache(config, self.memory)
+        self.scoreboard = Scoreboard(config, branch_unit=self.branch_unit,
+                                     memory=self.memory,
+                                     icache=self.icache)
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate one trace slice end to end."""
+        core = self.scoreboard.run(trace)
+        self._drive_uoc(trace)
+        fetch_frac = 0.0
+        if self.uoc is not None:
+            s = self.uoc.stats
+            total = s.filter_cycles + s.build_cycles + s.fetch_cycles
+            fetch_frac = s.fetch_cycles / total if total else 0.0
+        else:
+            # Legacy front end: every block pays fetch + decode energy.
+            blocks = sum(1 for r in trace if r.is_branch) + 1
+            self.ledger.record("icache_fetch", blocks)
+            self.ledger.record("decode", blocks)
+        return SimulationResult(
+            generation=self.config.name,
+            trace_name=trace.name,
+            core=core,
+            branch=self.branch_unit.stats,
+            memory=self.memory.stats,
+            ledger=self.ledger,
+            uoc_fetch_fraction=fetch_frac,
+        )
+
+    def _drive_uoc(self, trace: Trace) -> None:
+        """Feed the UOC mode machine the trace's basic-block stream.
+
+        Runs after the scoreboard pass so the uBTB's learned
+        predictability is available as the FilterMode signal — the same
+        information order as hardware, where the uBTB has trained on
+        earlier iterations of the kernel being filtered.
+        """
+        if self.uoc is None:
+            return
+        ubtb = self.branch_unit.ubtb
+        block_pc = trace[0].pc if len(trace) else 0
+        n_uops = 0
+        for rec in trace:
+            n_uops += 1
+            if not rec.is_branch:
+                continue
+            node = ubtb._get_node(rec.pc)
+            predictable = node is not None and node.confidence >= 3
+            self.uoc.on_block(block_pc, n_uops, predictable)
+            block_pc = rec.target if rec.taken else rec.pc + 4
+            n_uops = 0
+
+
+def simulate(generation: str, trace: Trace) -> SimulationResult:
+    """Convenience one-shot: simulate ``trace`` on generation ``name``."""
+    return GenerationSimulator(get_generation(generation)).run(trace)

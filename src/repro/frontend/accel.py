@@ -1,0 +1,85 @@
+"""Taken-branch redirect accelerators: 1AT, ZAT and ZOT (Sections IV-C/E).
+
+A plain mBTB TAKEN prediction costs two bubbles.  M3 added the *1AT* early
+redirect: always-taken branches redirect a cycle earlier (one bubble).
+M5 extended the idea two ways (Figure 5): replication of always-taken and
+often-taken branches' targets into their *predecessor* branches' mBTB
+entries provides zero-bubble always-taken (ZAT) and zero-bubble
+often-taken (ZOT) prediction — an mBTB lookup for branch X returns both
+X's own target and, when X's target location leads next to an AT/OT
+branch B, B's target as well.
+
+With a second zero-bubble structure in the machine, a heuristic arbiter
+chooses between the uBTB (two-cycle startup, saves mBTB/SHP power on tight
+kernels) and the ZAT/ZOT path (no startup, full mBTB/SHP power).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .btb import BTBEntry, BTBHierarchy
+
+
+class RedirectAccelerator:
+    """Computes taken-redirect bubble counts and maintains replication."""
+
+    def __init__(self, has_1at: bool, has_zat_zot: bool,
+                 btb: BTBHierarchy) -> None:
+        self.has_1at = has_1at
+        self.has_zat_zot = has_zat_zot
+        self.btb = btb
+        #: Entry of the previous predicted-taken branch (replication source).
+        self._prev_entry: Optional[BTBEntry] = None
+
+        # Statistics.
+        self.redirects_1at = 0
+        self.redirects_zat = 0
+        self.redirects_zot = 0
+
+    def taken_bubbles(self, entry: BTBEntry, base_bubbles: int = 2) -> int:
+        """Bubbles for a TAKEN prediction of ``entry`` on the main path.
+
+        Checks, in decreasing priority: ZAT/ZOT replication in the
+        predecessor's entry (zero bubbles), 1AT early redirect for
+        always-taken branches (one bubble), otherwise the mBTB baseline.
+        """
+        if self.has_zat_zot and self._prev_entry is not None:
+            prev = self._prev_entry
+            if (prev.replicated_next_pc == entry.pc
+                    and prev.replicated_next_target == entry.target):
+                if entry.is_always_taken:
+                    self.redirects_zat += 1
+                else:
+                    self.redirects_zot += 1
+                return 0
+        if self.has_1at and entry.is_always_taken:
+            self.redirects_1at += 1
+            return min(1, base_bubbles)
+        return base_bubbles
+
+    def observe_taken(self, entry: Optional[BTBEntry]) -> None:
+        """Record the branch that just redirected; the *next* taken branch
+        may replicate into this one's mBTB entry."""
+        if not self.has_zat_zot:
+            self._prev_entry = entry
+            return
+        self._prev_entry = entry
+
+    def learn_replication(self, successor: BTBEntry) -> None:
+        """Called when ``successor`` is the first branch encountered after
+        the previous taken redirect: if it qualifies as AT/OT, copy its
+        target into the predecessor's entry (the Figure 5 scheme: X's entry
+        stores a redirect to both A and B)."""
+        if not self.has_zat_zot or self._prev_entry is None:
+            return
+        if successor is self._prev_entry:
+            return
+        if successor.is_always_taken or successor.is_often_taken:
+            self._prev_entry.replicated_next_pc = successor.pc
+            self._prev_entry.replicated_next_target = successor.target
+        else:
+            # Successor turned unpredictable: drop a stale replication.
+            if self._prev_entry.replicated_next_pc == successor.pc:
+                self._prev_entry.replicated_next_pc = None
+                self._prev_entry.replicated_next_target = None

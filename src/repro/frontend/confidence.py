@@ -1,0 +1,39 @@
+"""Branch confidence estimation (Jacobson/Rotenberg/Smith style).
+
+M5's Mispredict Recovery Buffer records refill sequences only for
+*identified low-confidence branches* (Section IV-E, citing [19]).  The
+classic JRS estimator keeps a table of resetting counters: correct
+predictions increment, mispredicts reset; a branch is "low confidence"
+while its counter sits below a threshold.
+"""
+
+from __future__ import annotations
+
+from .history import pc_hash
+
+
+class ConfidenceEstimator:
+    """Resetting-counter confidence table indexed by PC hash."""
+
+    def __init__(self, entries: int = 1024, threshold: int = 8,
+                 ceiling: int = 15) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.threshold = threshold
+        self.ceiling = ceiling
+        self.counters = [0] * entries
+
+    def _index(self, pc: int) -> int:
+        return pc_hash(pc, self.index_bits, salt=0x3C)
+
+    def is_low_confidence(self, pc: int) -> bool:
+        return self.counters[self._index(pc)] < self.threshold
+
+    def record(self, pc: int, correct: bool) -> None:
+        i = self._index(pc)
+        if correct:
+            self.counters[i] = min(self.ceiling, self.counters[i] + 1)
+        else:
+            self.counters[i] = 0

@@ -1,0 +1,169 @@
+"""Branch history registers and hashing utilities (Section IV-A).
+
+The SHP's table indices are XOR hashes of three components:
+
+1. a hash of the global outcome history (GHIST) over a per-table interval
+   — the GHIST records one bit per conditional branch outcome;
+2. a hash of the path history (PHIST) over a per-table interval — the
+   PHIST records bits two through four of each branch address encountered;
+3. a hash of the branch PC.
+
+M1 keeps 165 bits of GHIST and 80 bits of PHIST; M5 grew GHIST by 25%
+(to 206 bits here) and rebalanced the intervals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_GOLDEN = 0x9E3779B9
+
+
+def fold_bits(value: int, width: int, out_bits: int) -> int:
+    """XOR-fold the low ``width`` bits of ``value`` down to ``out_bits``.
+
+    This is the classic index-folding used by geometric-history predictors;
+    it preserves every input bit's influence on the output.
+    """
+    if out_bits <= 0:
+        return 0
+    mask = (1 << out_bits) - 1
+    value &= (1 << width) - 1 if width > 0 else 0
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= out_bits
+    return folded
+
+
+def mix_segment(value: int, width: int, out_bits: int, salt: int = 0) -> int:
+    """Non-linearly hash a history segment down to ``out_bits``.
+
+    A raw XOR-fold is linear: two histories differing in single bits at
+    positions congruent modulo ``out_bits`` collide systematically, which
+    makes loop-exit patterns alias with mid-loop patterns.  Folding to 64
+    bits and then applying a multiplicative finaliser destroys that
+    structure (the hardware equivalent is folding with a primitive
+    polynomial instead of same-width XOR).
+    """
+    if out_bits <= 0:
+        return 0
+    folded = fold_bits(value, width, 64) ^ (salt * _GOLDEN & 0xFFFFFFFF)
+    folded = (folded * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+    folded ^= folded >> 31
+    folded = (folded * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    return (folded >> 24) & ((1 << out_bits) - 1)
+
+
+def pc_hash(pc: int, out_bits: int, salt: int = 0) -> int:
+    """Hash a (4-byte-aligned) PC down to ``out_bits`` bits."""
+    x = (pc >> 2) ^ salt
+    x = (x * _GOLDEN) & 0xFFFFFFFF
+    return fold_bits(x, 32, out_bits)
+
+
+def geometric_intervals(n_tables: int, max_bits: int,
+                        first: int = 3) -> List[Tuple[int, int]]:
+    """Per-table (lo, hi) GHIST bit ranges with geometric spacing.
+
+    Interval ends follow an O-GEHL-style geometric series from ``first``
+    up to ``max_bits``; table *i* hashes GHIST bits ``[0, end_i)``.  The
+    paper determined its intervals with a stochastic search; a geometric
+    ladder is the standard published approximation and preserves the
+    property Figure 1 measures (diminishing returns with range growth).
+    """
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    if n_tables == 1:
+        return [(0, max_bits)]
+    ends: List[int] = []
+    ratio = (max_bits / first) ** (1.0 / (n_tables - 1)) if max_bits > first else 1.0
+    for i in range(n_tables):
+        end = int(round(first * ratio**i))
+        end = max(end, (ends[-1] + 1) if ends else 1)
+        ends.append(min(end, max_bits))
+    return [(0, e) for e in ends]
+
+
+class GlobalHistory:
+    """GHIST: one outcome bit per conditional branch, newest in bit 0."""
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("GHIST must hold at least one bit")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, taken: bool) -> None:
+        self.value = ((self.value << 1) | (1 if taken else 0)) & self._mask
+
+    def segment(self, lo: int, hi: int) -> int:
+        """GHIST bits in [lo, hi), bit ``lo`` being the most recent."""
+        return (self.value >> lo) & ((1 << (hi - lo)) - 1)
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snap: int) -> None:
+        self.value = snap & self._mask
+
+
+class PathHistory:
+    """PHIST: three address bits (bits 2..4) per encountered branch."""
+
+    #: Address bits recorded per branch (paper: bits two through four).
+    BITS_PER_BRANCH = 3
+
+    def __init__(self, bits: int) -> None:
+        if bits < self.BITS_PER_BRANCH:
+            raise ValueError("PHIST too small for even one branch")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, pc: int) -> None:
+        chunk = (pc >> 2) & ((1 << self.BITS_PER_BRANCH) - 1)
+        self.value = ((self.value << self.BITS_PER_BRANCH) | chunk) & self._mask
+
+    def segment(self, lo: int, hi: int) -> int:
+        return (self.value >> lo) & ((1 << (hi - lo)) - 1)
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snap: int) -> None:
+        self.value = snap & self._mask
+
+
+class IndirectTargetHistory:
+    """History of recent indirect-branch targets.
+
+    Used by M6's dedicated indirect hash table: Section IV-F observes that
+    the standard GHIST/PHIST/PC hash "did not perform well, as the
+    precursor conditional branches do not highly correlate with the
+    indirect targets", so the dedicated table hashes *recent indirect
+    branch targets* instead.
+    """
+
+    def __init__(self, depth: int = 1, bits_per_target: int = 10) -> None:
+        self.depth = depth
+        self.bits_per_target = bits_per_target
+        self._mask = (1 << (depth * bits_per_target)) - 1
+        self.value = 0
+
+    def push(self, target: int) -> None:
+        chunk = fold_bits(target >> 2, 32, self.bits_per_target)
+        self.value = ((self.value << self.bits_per_target) | chunk) & self._mask
+
+    def index(self, pc: int, out_bits: int) -> int:
+        return (
+            fold_bits(self.value, self.depth * self.bits_per_target, out_bits)
+            ^ pc_hash(pc, out_bits, salt=0xD1)
+        )
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, snap: int) -> None:
+        self.value = snap & self._mask

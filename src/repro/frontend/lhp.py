@@ -1,0 +1,79 @@
+"""Local-history hashed perceptron (LHP) used inside the uBTB.
+
+Difficult-to-predict branch nodes in the uBTB graph are "augmented with use
+of a local-history hashed perceptron" (Section IV-B, Figure 4).  Unlike the
+SHP, which correlates with *global* outcome history, the LHP keeps a short
+per-branch outcome history and hashes segments of it into small weight
+tables — ideal for the loop/pattern branches that dominate uBTB-resident
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .history import fold_bits, geometric_intervals, pc_hash
+
+_WEIGHT_MAX = 31
+_WEIGHT_MIN = -31
+
+
+class LocalHashedPerceptron:
+    """Small hashed perceptron over per-branch local history."""
+
+    def __init__(self, n_tables: int = 3, rows: int = 128,
+                 local_bits: int = 16, history_entries: int = 64) -> None:
+        if rows & (rows - 1):
+            raise ValueError("rows must be a power of two")
+        self.n_tables = n_tables
+        self.rows = rows
+        self.index_bits = rows.bit_length() - 1
+        self.local_bits = local_bits
+        self.history_entries = history_entries
+        self.intervals = geometric_intervals(n_tables, local_bits, first=2)
+        self.tables: List[List[int]] = [[0] * rows for _ in range(n_tables)]
+        # Per-branch local history, hash-indexed with bounded capacity.
+        self._local: Dict[int, int] = {}
+        self.theta = int(1.93 * n_tables + 4)
+
+    def _history_slot(self, pc: int) -> int:
+        return pc_hash(pc, self.history_entries.bit_length() - 1, salt=0x77)
+
+    def _indices(self, pc: int, lhist: int) -> Tuple[int, ...]:
+        idx = []
+        for t in range(self.n_tables):
+            lo, hi = self.intervals[t]
+            seg = (lhist >> lo) & ((1 << (hi - lo)) - 1)
+            h = fold_bits(seg, hi - lo, self.index_bits)
+            p = pc_hash(pc, self.index_bits, salt=(t + 3) * 0x2B)
+            idx.append((h ^ p) & (self.rows - 1))
+        return tuple(idx)
+
+    def predict(self, pc: int) -> Tuple[bool, int]:
+        """Return (taken, sum) for the branch at ``pc``."""
+        lhist = self._local.get(self._history_slot(pc), 0)
+        total = 0
+        for t, i in enumerate(self._indices(pc, lhist)):
+            total += self.tables[t][i]
+        return total >= 0, total
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train and advance the branch's local history."""
+        slot = self._history_slot(pc)
+        lhist = self._local.get(slot, 0)
+        indices = self._indices(pc, lhist)
+        total = sum(self.tables[t][i] for t, i in enumerate(indices))
+        predicted = total >= 0
+        if predicted != taken or abs(total) <= self.theta:
+            delta = 1 if taken else -1
+            for t, i in enumerate(indices):
+                w = self.tables[t][i] + delta
+                self.tables[t][i] = max(_WEIGHT_MIN, min(_WEIGHT_MAX, w))
+        mask = (1 << self.local_bits) - 1
+        self._local[slot] = ((lhist << 1) | (1 if taken else 0)) & mask
+
+    @property
+    def storage_bits(self) -> int:
+        weight_bits = self.n_tables * self.rows * 6
+        history_bits = self.history_entries * self.local_bits
+        return weight_bits + history_bits

@@ -1,0 +1,94 @@
+"""Branch predictor storage accounting (Table II).
+
+Table II reports predictor bit budgets in KB for the SHP, the L1 BTBs
+(mBTB + vBTB + uBTB and friends) and the L2BTB.  The paper does not give
+per-entry layouts, so this module documents a concrete layout whose totals
+land close to the published numbers; the Table II bench reports paper
+versus computed side by side.
+
+Layout assumptions (bits per entry):
+
+- mBTB entry: partial tag (16) + target offset (48) + type (3) + BIAS (6,
+  sign/magnitude) + AT/OT counters (8) + UOC built bit (1) + LRU ≈ 104;
+  ZAT/ZOT replication (M5+) adds a replicated target + valid ≈ 20 more.
+- vBTB entry: compressed (virtual-indexed, shared target storage) ≈ 64.
+- uBTB node: tag + two edges + target + LHP confidence ≈ 224; the M3+
+  unconditional-only entries need no LHP state ≈ 160.
+- L2BTB entry: 113 (slower, denser macro with ECC amortised over lines).
+- MRB entry: three fetch addresses (3 x 24, offset-compressed) + tag ≈ 88.
+- Indirect hash entry (M6): tag (10) + target (48) + confidence (2) = 60.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import BranchPredictorConfig, GenerationConfig
+
+MBTB_ENTRY_BITS = 104
+ZAT_REPLICATION_BITS = 20
+VBTB_ENTRY_BITS = 64
+UBTB_NODE_BITS = 224
+UBTB_UNCOND_NODE_BITS = 160
+L2BTB_ENTRY_BITS = 113
+MRB_ENTRY_BITS = 88
+INDIRECT_HASH_ENTRY_BITS = 60
+RAS_ENTRY_BITS = 49
+LHP_BITS = 3 * 128 * 6 + 64 * 16  # weights + local histories
+
+
+@dataclass(frozen=True)
+class StorageBudget:
+    """Predictor storage in kilobytes, Table II's three columns."""
+
+    shp_kb: float
+    l1btb_kb: float
+    l2btb_kb: float
+
+    @property
+    def total_kb(self) -> float:
+        return self.shp_kb + self.l1btb_kb + self.l2btb_kb
+
+
+def _kb(bits: float) -> float:
+    return bits / 8192.0
+
+
+def storage_budget(bp: BranchPredictorConfig) -> StorageBudget:
+    """Compute the Table II storage columns for one generation."""
+    shp_bits = bp.shp_tables * bp.shp_rows * bp.shp_weight_bits
+
+    mbtb_entry = MBTB_ENTRY_BITS + (
+        ZAT_REPLICATION_BITS if bp.has_zat_zot else 0
+    )
+    l1_bits = bp.mbtb_entries * mbtb_entry
+    l1_bits += bp.vbtb_entries * VBTB_ENTRY_BITS
+    l1_bits += bp.ubtb_entries * UBTB_NODE_BITS
+    l1_bits += bp.ubtb_uncond_only_entries * UBTB_UNCOND_NODE_BITS
+    l1_bits += LHP_BITS
+    l1_bits += bp.ras_entries * RAS_ENTRY_BITS
+    l1_bits += bp.mrb_entries * MRB_ENTRY_BITS
+    l1_bits += bp.indirect_hash_entries * INDIRECT_HASH_ENTRY_BITS
+
+    l2_bits = bp.l2btb_entries * L2BTB_ENTRY_BITS
+    return StorageBudget(
+        shp_kb=_kb(shp_bits),
+        l1btb_kb=_kb(l1_bits),
+        l2btb_kb=_kb(l2_bits),
+    )
+
+
+#: Table II as published, for comparison in benches/tests (KB).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "M1": {"shp": 8.0, "l1btb": 32.5, "l2btb": 58.4, "total": 98.9},
+    "M2": {"shp": 8.0, "l1btb": 32.5, "l2btb": 58.4, "total": 98.9},
+    "M3": {"shp": 16.0, "l1btb": 49.0, "l2btb": 110.8, "total": 175.8},
+    "M4": {"shp": 16.0, "l1btb": 50.5, "l2btb": 221.5, "total": 288.0},
+    "M5": {"shp": 32.0, "l1btb": 53.3, "l2btb": 225.5, "total": 310.8},
+    "M6": {"shp": 32.0, "l1btb": 78.5, "l2btb": 451.0, "total": 561.5},
+}
+
+
+def generation_budget(config: GenerationConfig) -> StorageBudget:
+    return storage_budget(config.branch)

@@ -1,0 +1,32 @@
+"""Experiment harness: regenerates every table and figure in the paper."""
+
+from .figures import (  # noqa: F401
+    FIG1_GHIST_POINTS,
+    figure1_ghist_sweep,
+    figure9_mpki,
+    figure16_load_latency,
+    figure17_ipc,
+    overall_summary,
+    population_curves,
+    render_curves,
+)
+from .population import (  # noqa: F401
+    PopulationResult,
+    SliceMetrics,
+    branch_pair_statistics,
+    run_population,
+    to_csv,
+)
+from .report import build_report  # noqa: F401
+from .tables import (  # noqa: F401
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table1_features,
+    table2_storage,
+    table3_hierarchy,
+    table4_load_latency,
+)

@@ -1,0 +1,151 @@
+"""Population runs: every generation over the standard suite.
+
+The paper's cross-generation results (Figures 9, 16, 17; Tables II, IV and
+the Section IV/X summary numbers) are all population statistics over its
+4,026 trace slices.  This module runs our synthetic population through the
+full simulator for each generation and collects the per-slice metrics the
+figure/table renderers consume.
+
+Results are cached in-process by (n_slices, slice_length, seed) so several
+benches can share one population run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GENERATION_ORDER, all_generations, get_generation
+from ..core import GenerationSimulator, SimulationResult
+from ..traces import Trace, standard_suite
+
+
+@dataclass
+class SliceMetrics:
+    """Per-(slice, generation) results kept by population runs."""
+
+    trace_name: str
+    family: str
+    generation: str
+    ipc: float
+    mpki: float
+    average_load_latency: float
+    bubbles_per_branch: float
+    #: Interval-model CPI-stack fractions (base/mispredict/frontend/memory)
+    #: — the Section XI improvement-attribution view.
+    cpi_base: float = 0.0
+    cpi_mispredict: float = 0.0
+    cpi_frontend: float = 0.0
+    cpi_memory: float = 0.0
+
+
+@dataclass
+class PopulationResult:
+    """All slices x all generations."""
+
+    metrics: List[SliceMetrics] = field(default_factory=list)
+
+    def for_generation(self, name: str) -> List[SliceMetrics]:
+        return [m for m in self.metrics if m.generation == name]
+
+    def series(self, name: str, attr: str, sort: bool = True) -> List[float]:
+        """Per-slice metric values for one generation (sorted for the
+        paper's s-curve presentation)."""
+        vals = [getattr(m, attr) for m in self.for_generation(name)]
+        return sorted(vals) if sort else vals
+
+    def mean(self, name: str, attr: str) -> float:
+        vals = self.series(name, attr, sort=False)
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def family_mean(self, name: str, family: str, attr: str) -> float:
+        vals = [getattr(m, attr) for m in self.for_generation(name)
+                if m.family == family]
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+_CACHE: Dict[Tuple[int, int, int, Tuple[str, ...]], PopulationResult] = {}
+
+
+def run_population(
+    n_slices: int = 36,
+    slice_length: int = 20_000,
+    seed: int = 2020,
+    generations: Optional[Sequence[str]] = None,
+) -> PopulationResult:
+    """Simulate the standard suite on each generation.
+
+    Defaults are laptop-scale; the figures' shapes stabilise from ~24
+    slices.  Pass larger ``n_slices``/``slice_length`` for smoother
+    curves.
+    """
+    gens = tuple(generations) if generations else GENERATION_ORDER
+    key = (n_slices, slice_length, seed, gens)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    traces = standard_suite(n_slices=n_slices, slice_length=slice_length,
+                            seed=seed)
+    result = PopulationResult()
+    from ..core.interval import estimate_from_simulation
+
+    for gen_name in gens:
+        config = get_generation(gen_name)
+        for trace in traces:
+            sim = GenerationSimulator(config)
+            r = sim.run(trace)
+            stack = estimate_from_simulation(r).cpi_stack
+            result.metrics.append(
+                SliceMetrics(
+                    trace_name=trace.name,
+                    family=trace.family,
+                    generation=gen_name,
+                    ipc=r.ipc,
+                    mpki=r.mpki,
+                    average_load_latency=r.average_load_latency,
+                    bubbles_per_branch=r.branch.bubbles_per_branch,
+                    cpi_base=stack["base"],
+                    cpi_mispredict=stack["mispredict"],
+                    cpi_frontend=stack["frontend_bubbles"],
+                    cpi_memory=stack["memory"],
+                )
+            )
+    _CACHE[key] = result
+    return result
+
+
+def to_csv(result: PopulationResult) -> str:
+    """Serialise a population run as CSV (one row per slice x generation),
+    for external plotting/analysis tools."""
+    lines = ["trace,family,generation,ipc,mpki,avg_load_latency,"
+             "bubbles_per_branch"]
+    for m in result.metrics:
+        lines.append(
+            f"{m.trace_name},{m.family},{m.generation},{m.ipc:.4f},"
+            f"{m.mpki:.4f},{m.average_load_latency:.4f},"
+            f"{m.bubbles_per_branch:.4f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def branch_pair_statistics(traces: Sequence[Trace]) -> Dict[str, float]:
+    """The Section IV-A fetch-pair statistics: of consecutive branch
+    pairs, how often the lead branch is TAKEN, how often the lead is
+    not-taken but the second is TAKEN, and how often both are not-taken
+    (paper: 60% / 24% / 16%)."""
+    lead_taken = second_taken = both_nt = 0
+    for trace in traces:
+        outcomes = [r.taken for r in trace if r.is_branch]
+        for a, b in zip(outcomes, outcomes[1:]):
+            if a:
+                lead_taken += 1
+            elif b:
+                second_taken += 1
+            else:
+                both_nt += 1
+    total = max(1, lead_taken + second_taken + both_nt)
+    return {
+        "lead_taken": lead_taken / total,
+        "second_taken": second_taken / total,
+        "both_not_taken": both_nt / total,
+    }

@@ -1,0 +1,13 @@
+"""Memory hierarchy substrate (paper Sections VII-X)."""
+
+from .cache import CacheLine, SetAssocCache  # noqa: F401
+from .coordinated import CastoutDecision, CoordinatedPolicy  # noqa: F401
+from .dram import DramAccessResult, DramModel  # noqa: F401
+from .hierarchy import MemoryHierarchy, MemoryStats  # noqa: F401
+from .interconnect import (  # noqa: F401
+    DramPathResult,
+    MemoryPath,
+    SnoopFilterDirectory,
+)
+from .mab import MissBufferPool  # noqa: F401
+from .tlb import Tlb, TranslationHierarchy, TranslationResult  # noqa: F401

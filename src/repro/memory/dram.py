@@ -1,0 +1,86 @@
+"""Open-page DRAM model with banks and the early-page-activate hint.
+
+Latency-critical reads on M5 can send "an early page activate command to
+the memory controller to speculatively open a new DRAM page" over a
+dedicated sideband that bypasses two asynchronous crossings with one
+(Section IX); the command "is a hint the memory controller may ignore
+under heavy load".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Address bits: 64B line, bank interleave on line address.
+_BANK_SHIFT = 6
+_ROW_SHIFT = 14  # 16KB row buffer
+
+
+@dataclass
+class DramAccessResult:
+    latency: float
+    page_hit: bool
+    #: The early-activate hint removed the activate latency.
+    early_activated: bool = False
+
+
+class DramModel:
+    """Per-bank open row tracking; uniform timing otherwise."""
+
+    def __init__(self, n_banks: int = 16, base_latency: float = 100.0,
+                 page_miss_penalty: float = 40.0,
+                 activate_ignore_load: int = 12) -> None:
+        self.n_banks = n_banks
+        self.base_latency = base_latency
+        self.page_miss_penalty = page_miss_penalty
+        #: Outstanding-request count above which activate hints are ignored.
+        self.activate_ignore_load = activate_ignore_load
+        self._open_row: Dict[int, int] = {}
+        self._pending_activates: Dict[int, int] = {}
+        self.accesses = 0
+        self.page_hits = 0
+        self.page_misses = 0
+        self.early_activates_honored = 0
+        self.early_activates_ignored = 0
+        self.outstanding = 0
+
+    def _bank_row(self, addr: int) -> (int, int):
+        bank = (addr >> _BANK_SHIFT) % self.n_banks
+        row = addr >> _ROW_SHIFT
+        return bank, row
+
+    def early_activate(self, addr: int) -> bool:
+        """Speculatively open the page for ``addr``; may be ignored under
+        heavy load.  Returns True when honoured."""
+        if self.outstanding > self.activate_ignore_load:
+            self.early_activates_ignored += 1
+            return False
+        bank, row = self._bank_row(addr)
+        self._pending_activates[bank] = row
+        self.early_activates_honored += 1
+        return True
+
+    def access(self, addr: int) -> DramAccessResult:
+        """One read/write; returns device latency (controller queueing and
+        interconnect latency are added by the caller)."""
+        self.accesses += 1
+        bank, row = self._bank_row(addr)
+        open_row = self._open_row.get(bank)
+        early = self._pending_activates.pop(bank, None)
+        if open_row == row:
+            self.page_hits += 1
+            return DramAccessResult(self.base_latency, page_hit=True)
+        self.page_misses += 1
+        self._open_row[bank] = row
+        if early == row:
+            # Activation already in flight thanks to the sideband hint.
+            return DramAccessResult(self.base_latency, page_hit=False,
+                                    early_activated=True)
+        return DramAccessResult(self.base_latency + self.page_miss_penalty,
+                                page_hit=False)
+
+    @property
+    def page_hit_rate(self) -> float:
+        total = self.page_hits + self.page_misses
+        return self.page_hits / total if total else 0.0

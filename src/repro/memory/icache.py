@@ -1,0 +1,88 @@
+"""Instruction-side cache path.
+
+Table I tracks the L1 instruction cache from 64KB (M1-M5) to 128KB (M6)
+and the instruction TLB alongside it; instruction misses share the unified
+L2/L3/DRAM path with data.  The front end consumes this as fetch-stall
+cycles: a fetch group crossing into a non-resident line stalls until the
+line returns.
+
+Timing approximation matches the data side: miss latency equals the level
+that supplies the line; in-flight tracking is omitted (sequential-line
+fetch runs well ahead through next-line prefetch, modelled as a one-line
+lookahead fill).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import GenerationConfig
+from .cache import SetAssocCache
+from .hierarchy import MemoryHierarchy
+from .tlb import Tlb
+
+
+class InstructionCache:
+    """L1I + ITLB front-end supply, backed by the unified hierarchy."""
+
+    def __init__(self, config: GenerationConfig,
+                 memory: Optional[MemoryHierarchy] = None) -> None:
+        self.config = config
+        self.memory = memory
+        self.l1i = SetAssocCache(config.l1i.size_bytes, config.l1i.ways,
+                                 name="L1I")
+        self.itlb = Tlb(config.l1i_tlb, "L1I-TLB")
+        self.hits = 0
+        self.misses = 0
+        self.fill_stall_cycles = 0.0
+
+    def _line(self, pc: int) -> int:
+        return pc & ~63
+
+    def fetch_line(self, pc: int, now: float = 0.0) -> float:
+        """Fetch-stall cycles for the line containing ``pc`` (0 on hit).
+
+        On a miss the line is supplied by the unified L2/L3/DRAM path and
+        the sequential next line is prefetched alongside (next-line
+        instruction prefetch, standard since well before M1).
+        """
+        line = self._line(pc)
+        stall = 0.0
+        if not self.itlb.probe(pc):
+            self.itlb.fill(pc)
+            stall += 2.0  # ITLB refill from the shared L2 TLB
+        if self.l1i.probe(line) is not None:
+            self.hits += 1
+            return stall
+        self.misses += 1
+        stall += self._supply_latency(line, now)
+        self.l1i.fill(line)
+        # Next-line prefetch: hide the sequential successor.
+        self.l1i.fill(line + 64, prefetched=True)
+        self.fill_stall_cycles += stall
+        return stall
+
+    def _supply_latency(self, line: int, now: float) -> float:
+        cfg = self.config
+        if self.memory is None:
+            return cfg.l2_avg_latency
+        mem = self.memory
+        if mem.l2.probe(line, update_lru=False, count=False) is not None:
+            return cfg.l2_avg_latency
+        if (mem.l3 is not None
+                and mem.l3.probe(line, update_lru=False,
+                                 count=False) is not None):
+            return cfg.l3_avg_latency or 30.0
+        # Instruction miss to DRAM: latency-critical read (Section IX
+        # lists "instruction cache miss" among the classified reads).
+        trip = mem.path.dram_round_trip(
+            line, latency_critical=True,
+            bypassed_lookup_latency=(cfg.l3_avg_latency or 0.0) * 0.5)
+        mem.l2.fill(line)
+        mem.directory.note_filled(line)
+        return trip.latency
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

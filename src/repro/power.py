@@ -1,0 +1,64 @@
+"""Event-energy accounting.
+
+The paper motivates several mechanisms by power rather than speed: the
+uBTB clock-gates the mBTB and disables the SHP on locked kernels
+(Section IV-B), the Empty Line Optimization skips lookups of branch-free
+lines (Section IV-E), and the micro-op cache exists "primarily to save
+fetch and decode power on repeatable kernels" (Section VI).  This module
+provides a simple relative-energy ledger: structures report access events,
+and benches compare ledgers across configurations.
+
+Energies are in arbitrary relative units, scaled by structure size the way
+SRAM access energy roughly scales (proportional to sqrt(bits) per access
+for a fixed geometry, here simplified to fixed per-structure costs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Relative energy per access event.
+DEFAULT_ENERGY_TABLE: Dict[str, float] = {
+    "icache_fetch": 8.0,     # 64KB I-cache read of a fetch group
+    "decode": 6.0,           # full decode of a fetch group
+    "uoc_fetch": 2.5,        # UOC read of a uop group
+    "uoc_build": 4.0,        # UOC fill (decode + write)
+    "shp_lookup": 3.0,       # all SHP tables read + sum
+    "shp_update": 1.5,
+    "mbtb_lookup": 2.0,
+    "vbtb_lookup": 1.0,
+    "l2btb_fill": 4.0,
+    "ubtb_lookup": 0.5,
+    "empty_line_skip": -2.0,  # energy *saved* vs a full lookup cycle
+    "prefetch_issue": 1.0,
+    "dram_access": 50.0,
+}
+
+
+class EnergyLedger:
+    """Accumulates access-event counts and converts them to energy."""
+
+    def __init__(self, table: Dict[str, float] = None) -> None:
+        self.table = dict(DEFAULT_ENERGY_TABLE if table is None else table)
+        self.counts: Dict[str, int] = {}
+
+    def record(self, event: str, count: int = 1) -> None:
+        if event not in self.table:
+            raise KeyError(f"unknown energy event {event!r}")
+        self.counts[event] = self.counts.get(event, 0) + count
+
+    def energy(self, event: str = None) -> float:
+        """Total energy, or the energy of one event class."""
+        if event is not None:
+            return self.counts.get(event, 0) * self.table[event]
+        return sum(self.counts.get(e, 0) * c for e, c in self.table.items())
+
+    def merged(self, other: "EnergyLedger") -> "EnergyLedger":
+        out = EnergyLedger(self.table)
+        for src in (self, other):
+            for e, n in src.counts.items():
+                out.counts[e] = out.counts.get(e, 0) + n
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EnergyLedger total={self.energy():.1f} counts={self.counts}>"

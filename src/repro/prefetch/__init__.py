@@ -1,0 +1,13 @@
+"""Prefetch engines (paper Sections VII and VIII)."""
+
+from .buddy import BuddyPrefetcher  # noqa: F401
+from .confirmation import (  # noqa: F401
+    ConfirmationQueue,
+    IntegratedConfirmationQueue,
+)
+from .degree import DynamicDegree  # noqa: F401
+from .reorder import AddressReorderBuffer  # noqa: F401
+from .sms import SmsPrefetch, SmsPrefetcher  # noqa: F401
+from .standalone import StandalonePrefetcher  # noqa: F401
+from .stride import MultiStridePrefetcher, StrideStream  # noqa: F401
+from .twopass import PrefetchIssuePlan, TwoPassController  # noqa: F401

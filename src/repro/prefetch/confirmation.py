@@ -1,0 +1,97 @@
+"""Confirmation queues: classic (M1/M2) and integrated (M3+).
+
+Classic scheme (Section VII-A): generated prefetch addresses enqueue into
+a confirmation queue; subsequent demand accesses match against it and
+confirmed matches feed the degree controller.  Covering memory latency
+with many simultaneous streams needs a large queue, and early in pattern
+detection there are few issued prefetches to confirm, starving the degree.
+
+The M3 *integrated* confirmation queue (Section VII-D) fixes both: it
+keeps the last confirmed address and uses the locked pattern to generate
+the next N expected *demand* addresses (N much less than the degree) —
+the same logic as prefetch generation, running independently — so
+confirmations flow even before any prefetch has issued.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+
+class ConfirmationQueue:
+    """Classic issued-prefetch-address matching queue."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: Deque[int] = deque(maxlen=capacity)
+        self.confirmations = 0
+        self.misses = 0
+
+    def note_prefetch(self, line_addr: int) -> None:
+        self._queue.append(line_addr)
+
+    def confirm(self, line_addr: int) -> bool:
+        """Demand access check; confirmed entries are consumed."""
+        try:
+            self._queue.remove(line_addr)
+        except ValueError:
+            self.misses += 1
+            return False
+        self.confirmations += 1
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+
+class IntegratedConfirmationQueue:
+    """Pattern-driven expected-demand queue (US 10,387,320).
+
+    ``advance`` is the pattern generator: given the last expected address
+    it returns the next one.  The queue regenerates itself as demand
+    consumes entries, so its size N stays far below the stream degree.
+    """
+
+    def __init__(self, advance: Callable[[int], int], depth: int = 4) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.advance = advance
+        self.depth = depth
+        self._expected: Deque[int] = deque()
+        self._frontier: Optional[int] = None
+        self.confirmations = 0
+        self.misses = 0
+
+    def prime(self, last_confirmed: int) -> None:
+        """(Re)start expectation generation from a confirmed address."""
+        self._expected.clear()
+        self._frontier = last_confirmed
+        self._refill()
+
+    def _refill(self) -> None:
+        while len(self._expected) < self.depth and self._frontier is not None:
+            self._frontier = self.advance(self._frontier)
+            self._expected.append(self._frontier)
+
+    def confirm(self, line_addr: int) -> bool:
+        """Demand access check against the expected-address window."""
+        if line_addr in self._expected:
+            # Consume up to and including the match (skips are tolerated:
+            # the demand stream may stride past an expected entry).
+            while self._expected:
+                hit = self._expected.popleft() == line_addr
+                if hit:
+                    break
+            self.confirmations += 1
+            self._refill()
+            return True
+        self.misses += 1
+        return False
+
+    @property
+    def expected(self) -> List[int]:
+        return list(self._expected)

@@ -1,0 +1,182 @@
+"""Standalone lower-level-cache prefetcher (Sections VIII-C/D, M5+).
+
+Prefetches into the caches beyond the L1 from a *global* view of
+instruction and data accesses at the lower cache level, training on both
+demand accesses and core-initiated prefetches (which improves their
+timeliness).  Its challenges: out-of-order access streams, physical
+addressing limiting a stream to one 4KB page (handled by carrying
+learnings across page crossings), and L1 hits filtering the stream.
+
+The adaptive scheme (Figure 15) has two modes:
+
+- **low confidence**: "phantom" prefetches go into a prefetch filter for
+  confidence tracking but are not issued (or issued very conservatively);
+  demand accesses matching the filter raise confidence.
+- **high confidence**: prefetches issue aggressively; accuracy is tracked
+  through cache metadata (prefetched/accessed bits) and dropping accuracy
+  returns the engine to low-confidence mode.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+PAGE_BYTES = 4096
+
+
+@dataclass
+class _PageStream:
+    last_line: int
+    delta: int = 0
+    run: int = 0
+    lru: int = 0
+
+
+class StandalonePrefetcher:
+    """Page-stream detector with the two-mode adaptive scheme."""
+
+    LOW, HIGH = "low", "high"
+    #: Filter matches needed to enter high-confidence mode.
+    PROMOTE_THRESHOLD = 8
+    #: Accuracy (useful/issued) below which high mode demotes.
+    DEMOTE_ACCURACY = 0.35
+    #: Window of issued prefetches per accuracy evaluation.
+    EVAL_WINDOW = 64
+    #: Lookahead distance (lines) in high-confidence mode.
+    HIGH_DEGREE = 4
+
+    def __init__(self, streams: int = 16, line_bytes: int = 64,
+                 filter_entries: int = 128) -> None:
+        self.line_bytes = line_bytes
+        self.capacity = streams
+        self._streams: "OrderedDict[int, _PageStream]" = OrderedDict()
+        self.mode = self.LOW
+        self._filter: "OrderedDict[int, bool]" = OrderedDict()
+        self._filter_cap = filter_entries
+        self._filter_matches = 0
+        self._issued: "OrderedDict[int, bool]" = OrderedDict()
+        self._issued_cap = 4 * filter_entries
+        self._window_issued = 0
+        self._window_useful = 0
+        self._clock = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.issued = 0
+        self.phantom = 0
+        self.page_carries = 0
+
+    def _line(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _page(self, addr: int) -> int:
+        return addr - (addr % PAGE_BYTES)
+
+    # -- observation --------------------------------------------------------------
+
+    def observe(self, addr: int, is_core_prefetch: bool = False
+                ) -> List[int]:
+        """Feed one access seen at the lower cache level; returns line
+        addresses to prefetch (empty in low-confidence mode)."""
+        self._clock += 1
+        line = self._line(addr)
+        self._credit_demand(line, is_core_prefetch)
+        page = self._page(addr)
+        stream = self._streams.get(page)
+        if stream is None:
+            stream = self._carry_from_neighbor(page, line)
+            carried = stream is not None
+            if stream is None:
+                stream = _PageStream(last_line=line)
+            self._streams[page] = stream
+            self._streams.move_to_end(page)
+            while len(self._streams) > self.capacity:
+                self._streams.popitem(last=False)
+            if carried:
+                # The inherited direction generates immediately — the
+                # whole point of carrying learnings across 4KB crossings.
+                stream.lru = self._clock
+                return self._generate(stream)
+            return []
+        stream.lru = self._clock
+        self._streams.move_to_end(page)
+        delta = line - stream.last_line
+        if delta == 0:
+            return []
+        if delta == stream.delta:
+            stream.run += 1
+        else:
+            stream.delta = delta
+            stream.run = 1
+        stream.last_line = line
+        if stream.run < 2:
+            return []
+        return self._generate(stream)
+
+    def _carry_from_neighbor(self, page: int,
+                             line: int) -> Optional[_PageStream]:
+        """Reuse learnings across 4KB crossings: a trained stream in the
+        adjacent page whose direction points here seeds the new page."""
+        for neighbor in (page - PAGE_BYTES, page + PAGE_BYTES):
+            s = self._streams.get(neighbor)
+            if s is not None and s.run >= 2:
+                heading_here = (s.delta > 0) == (page > neighbor)
+                if heading_here:
+                    self.page_carries += 1
+                    return _PageStream(last_line=line, delta=s.delta,
+                                       run=s.run)
+        return None
+
+    # -- generation + adaptation -------------------------------------------------------
+
+    def _generate(self, stream: _PageStream) -> List[int]:
+        addrs = [stream.last_line + stream.delta * (i + 1)
+                 for i in range(self.HIGH_DEGREE)]
+        addrs = [a for a in addrs if a > 0]
+        if self.mode == self.LOW:
+            # Phantom prefetches: tracked, not issued.
+            for a in addrs:
+                self.phantom += 1
+                self._filter[a] = True
+                self._filter.move_to_end(a)
+                while len(self._filter) > self._filter_cap:
+                    self._filter.popitem(last=False)
+            return []
+        for a in addrs:
+            self.issued += 1
+            if a not in self._issued:
+                # Only *new* lines count toward the accuracy window;
+                # lookahead overlap would otherwise deflate accuracy.
+                self._window_issued += 1
+            self._issued[a] = True
+            self._issued.move_to_end(a)
+            while len(self._issued) > self._issued_cap:
+                self._issued.popitem(last=False)
+        self._maybe_demote()
+        return addrs
+
+    def _credit_demand(self, line: int, is_core_prefetch: bool) -> None:
+        if self.mode == self.LOW:
+            if self._filter.pop(line, None) is not None and not is_core_prefetch:
+                self._filter_matches += 1
+                if self._filter_matches >= self.PROMOTE_THRESHOLD:
+                    self.mode = self.HIGH
+                    self.promotions += 1
+                    self._filter_matches = 0
+                    self._window_issued = 0
+                    self._window_useful = 0
+        else:
+            if self._issued.pop(line, None) is not None and not is_core_prefetch:
+                self._window_useful += 1
+
+    def _maybe_demote(self) -> None:
+        if self._window_issued < self.EVAL_WINDOW:
+            return
+        accuracy = self._window_useful / self._window_issued
+        if accuracy < self.DEMOTE_ACCURACY:
+            self.mode = self.LOW
+            self.demotions += 1
+            self._filter_matches = 0
+        self._window_issued = 0
+        self._window_useful = 0

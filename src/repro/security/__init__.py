@@ -1,0 +1,22 @@
+"""Branch prediction security (paper Section V)."""
+
+from .attacks import (  # noqa: F401
+    AttackOutcome,
+    SharedIndirectPredictor,
+    cross_training_attack,
+    entropy_rotation_retraining_cost,
+    replay_attack,
+)
+from .context_hash import (  # noqa: F401
+    ProcessContext,
+    SecureFrontEndContext,
+    TargetCipher,
+    compute_context_hash,
+)
+from .entropy import (  # noqa: F401
+    EntropySources,
+    PrivilegeLevel,
+    SecurityState,
+    diffuse,
+    undiffuse,
+)

@@ -1,0 +1,94 @@
+"""Spectre-v2-style attack scenarios against the secure front end.
+
+Demonstrates the two protections Section V claims:
+
+- **cross-training**: an attacker trains an indirect predictor entry with
+  a gadget target; the victim reads it back.  With target encryption the
+  stored target was encrypted under CONTEXT_HASH(attacker) and decrypts
+  under CONTEXT_HASH(victim) to an unrelated address, so the victim never
+  speculates to the gadget.
+- **replay**: an attacker who somehow learns the mapping plaintext ->
+  ciphertext for one run cannot reuse it, because a new process context
+  (fresh ASID and/or rotated SW entropy) changes CONTEXT_HASH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .context_hash import ProcessContext, SecureFrontEndContext
+from .entropy import EntropySources
+
+
+class SharedIndirectPredictor:
+    """A bare BTB-like structure shared across contexts (the vulnerable
+    hardware that encryption protects): branch PC -> stored target."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, int] = {}
+
+    def train(self, pc: int, stored_target: int) -> None:
+        self._table[pc] = stored_target
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._table.get(pc)
+
+
+@dataclass
+class AttackOutcome:
+    attacker_target: int
+    victim_speculates_to: Optional[int]
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.victim_speculates_to == self.attacker_target
+
+
+def cross_training_attack(encrypted: bool,
+                          sources: Optional[EntropySources] = None,
+                          gadget: int = 0x4141_4140,
+                          branch_pc: int = 0x1000_0000) -> AttackOutcome:
+    """Attacker (ASID 7) trains; victim (ASID 42) predicts."""
+    sources = sources if sources is not None else EntropySources()
+    predictor = SharedIndirectPredictor()
+    attacker = SecureFrontEndContext(ProcessContext(asid=7), sources)
+    victim = SecureFrontEndContext(ProcessContext(asid=42), sources)
+    stored = attacker.cipher.encrypt(gadget) if encrypted else gadget
+    predictor.train(branch_pc, stored)
+    raw = predictor.predict(branch_pc)
+    if raw is None:
+        return AttackOutcome(gadget, None)
+    spec = victim.cipher.decrypt(raw) if encrypted else raw
+    return AttackOutcome(gadget, spec)
+
+
+def replay_attack(encrypted: bool,
+                  sources: Optional[EntropySources] = None,
+                  gadget: int = 0x4242_4240,
+                  branch_pc: int = 0x2000_0000) -> AttackOutcome:
+    """An attacker replays a previously-learned ciphertext after the
+    victim's context changed (new ASID on the next execution)."""
+    sources = sources if sources is not None else EntropySources()
+    predictor = SharedIndirectPredictor()
+    first_run = SecureFrontEndContext(ProcessContext(asid=100), sources)
+    # The attacker observed (somehow) the exact ciphertext of `gadget`
+    # under the victim's first execution and replants it later.
+    ciphertext = first_run.cipher.encrypt(gadget) if encrypted else gadget
+    second_run = SecureFrontEndContext(ProcessContext(asid=101), sources)
+    predictor.train(branch_pc, ciphertext)
+    raw = predictor.predict(branch_pc)
+    spec = second_run.cipher.decrypt(raw) if encrypted else raw
+    return AttackOutcome(gadget, spec)
+
+
+def entropy_rotation_retraining_cost(sources: Optional[EntropySources] = None
+                                     ) -> bool:
+    """Rotating SW entropy changes CONTEXT_HASH for the *same* context —
+    the deliberate retraining cost of the periodic-rehash defence.
+    Returns True when the hash changed."""
+    sources = sources if sources is not None else EntropySources()
+    ctx = SecureFrontEndContext(ProcessContext(asid=5), sources)
+    before = ctx.context_hash
+    ctx.rotate_sw_entropy(0xDEAD_BEEF)
+    return ctx.context_hash != before

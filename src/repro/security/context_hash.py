@@ -1,0 +1,103 @@
+"""CONTEXT_HASH computation and the target stream cipher (Section V).
+
+Within a processor context, CONTEXT_HASH is "used as a very fast stream
+cipher to XOR with the indirect branch or return targets being stored to
+the BTB or RAS" (Figure 11); a substitution/bit-reversal step further
+obfuscates against plaintext attacks.  The register itself is not software
+accessible and is recomputed only at context switch (a few cycles,
+negligible against context-switch cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .entropy import (
+    EntropySources,
+    MASK64,
+    PrivilegeLevel,
+    SecurityState,
+    diffuse,
+)
+
+
+@dataclass(frozen=True)
+class ProcessContext:
+    """The identifiers that select entropy inputs for one context."""
+
+    asid: int
+    vmid: int = 0
+    privilege: PrivilegeLevel = PrivilegeLevel.EL0_USER
+    security_state: SecurityState = SecurityState.NON_SECURE
+
+
+def compute_context_hash(ctx: ProcessContext,
+                         sources: EntropySources) -> int:
+    """Figure 10: combine the four entropy inputs, then diffuse.
+
+    Entirely deterministic given the (hidden) hardware sources, so the
+    same context always reproduces the same hash — the property that lets
+    the owner decrypt its own predictions perfectly.
+    """
+    sw = sources.sw_entropy[ctx.privilege]
+    hw = sources.hw_entropy[ctx.privilege]
+    hw_sec = sources.hw_secure_entropy[ctx.security_state]
+    ids = (ctx.asid & 0xFFFF) | ((ctx.vmid & 0xFFFF) << 16) \
+        | (int(ctx.security_state) << 32) | (int(ctx.privilege) << 33)
+    mixed = sw ^ hw ^ hw_sec ^ diffuse(ids, rounds=2)
+    return diffuse(mixed, rounds=4)
+
+
+def _bit_reverse48(v: int) -> int:
+    out = 0
+    for i in range(48):
+        out |= ((v >> i) & 1) << (47 - i)
+    return out
+
+
+class TargetCipher:
+    """The per-context encrypt/decrypt pair installed into BTB/RAS paths.
+
+    XOR stream cipher keyed by CONTEXT_HASH plus a fixed bit-reversal
+    substitution ("to protect against a basic plaintext attack, a simple
+    substitution cipher or bit reversal can further obfuscate the actual
+    stored address").  Encrypt/decrypt are exact inverses under the same
+    key; under a different key the decrypted target is effectively random.
+    """
+
+    ADDRESS_BITS = 48
+    _MASK = (1 << ADDRESS_BITS) - 1
+
+    def __init__(self, context_hash: int) -> None:
+        self.key = context_hash & self._MASK
+
+    def encrypt(self, target: int) -> int:
+        return _bit_reverse48((target ^ self.key) & self._MASK)
+
+    def decrypt(self, stored: int) -> int:
+        return (_bit_reverse48(stored & self._MASK) ^ self.key) & self._MASK
+
+
+class SecureFrontEndContext:
+    """Convenience bundle: a context, its hash and its cipher.
+
+    ``rotate_sw_entropy`` models the OS intentionally changing a
+    SW_ENTROPY_*_LVL input "at the expense of indirect mispredicts and
+    re-training" to bound cross-training exposure within a process's
+    lifetime (the CEASER-like defence).
+    """
+
+    def __init__(self, ctx: ProcessContext,
+                 sources: Optional[EntropySources] = None) -> None:
+        self.ctx = ctx
+        self.sources = sources if sources is not None else EntropySources()
+        self.refresh()
+
+    def refresh(self) -> None:
+        self.context_hash = compute_context_hash(self.ctx, self.sources)
+        self.cipher = TargetCipher(self.context_hash)
+
+    def rotate_sw_entropy(self, new_value: int) -> None:
+        self.sources.set_sw_entropy(self.ctx.privilege, new_value)
+        self.refresh()

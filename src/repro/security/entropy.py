@@ -1,0 +1,100 @@
+"""Entropy sources and diffusion for CONTEXT_HASH (Section V, Figure 10).
+
+The CONTEXT_HASH register mixes:
+
+- a *software* entropy source selected by privilege level (implemented as
+  ``SCXTNUM_ELx`` under ARMv8.5 CSV2);
+- a *hardware* entropy source, also selected by privilege level;
+- another hardware entropy source selected by security state;
+- an entropy source combining ASID, VMID, security state and privilege.
+
+The combination passes through rounds of entropy diffusion — "a
+deterministic, reversible non-linear transformation to average per-bit
+randomness" — performed entirely in hardware with no software visibility
+to intermediates, even for the hypervisor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+MASK64 = (1 << 64) - 1
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """Exception levels: user, kernel, hypervisor, firmware."""
+
+    EL0_USER = 0
+    EL1_KERNEL = 1
+    EL2_HYPERVISOR = 2
+    EL3_FIRMWARE = 3
+
+
+class SecurityState(enum.IntEnum):
+    NON_SECURE = 0
+    SECURE = 1
+
+
+def diffuse(value: int, rounds: int = 4) -> int:
+    """Deterministic, reversible, non-linear diffusion (xorshift-multiply
+    rounds; each step is invertible on 64 bits, so the whole transform is
+    a bijection that spreads per-bit randomness)."""
+    v = value & MASK64
+    for _ in range(rounds):
+        v ^= (v >> 33)
+        v = (v * 0xFF51AFD7ED558CCD) & MASK64
+        v ^= (v >> 29)
+        v = (v * 0xC4CEB9FE1A85EC53) & MASK64
+    return v
+
+
+def undiffuse(value: int, rounds: int = 4) -> int:
+    """Exact inverse of :func:`diffuse` (demonstrates reversibility)."""
+
+    def inv_xorshift(v: int, shift: int) -> int:
+        out = v
+        recovered = shift
+        while recovered < 64:
+            out = v ^ (out >> shift)
+            recovered += shift
+        return out & MASK64
+
+    inv1 = pow(0xFF51AFD7ED558CCD, -1, 1 << 64)
+    inv2 = pow(0xC4CEB9FE1A85EC53, -1, 1 << 64)
+    v = value & MASK64
+    # diffuse applies, per round: xor33, mul1, xor29, mul2 — so invert in
+    # reverse: mul2^-1, xor29^-1, mul1^-1, xor33^-1.
+    for _ in range(rounds):
+        v = (v * inv2) & MASK64
+        v = inv_xorshift(v, 29)
+        v = (v * inv1) & MASK64
+        v = inv_xorshift(v, 33)
+    return v
+
+
+@dataclass
+class EntropySources:
+    """Per-level SW/HW entropy registers (SCXTNUM_ELx and friends).
+
+    ``sw_entropy`` is the software-visible knob the OS can rotate to force
+    retraining (the CEASER-like periodic rehash of Section V); the
+    hardware sources are set at reset and never architecturally visible.
+    """
+
+    sw_entropy: Dict[PrivilegeLevel, int] = field(default_factory=dict)
+    hw_entropy: Dict[PrivilegeLevel, int] = field(default_factory=dict)
+    hw_secure_entropy: Dict[SecurityState, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for lvl in PrivilegeLevel:
+            self.sw_entropy.setdefault(lvl, 0)
+            # Deterministic per-level defaults standing in for fuses/TRNG.
+            self.hw_entropy.setdefault(lvl, diffuse(0xA5A5 + int(lvl)))
+        for st in SecurityState:
+            self.hw_secure_entropy.setdefault(st, diffuse(0x5A5A + int(st)))
+
+    def set_sw_entropy(self, level: PrivilegeLevel, value: int) -> None:
+        """The OS/hypervisor writes SCXTNUM_ELx."""
+        self.sw_entropy[level] = value & MASK64

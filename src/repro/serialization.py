@@ -1,0 +1,71 @@
+"""GenerationConfig serialization (JSON-compatible dicts).
+
+Lets external tools consume the Table I data, and lets design-exploration
+scripts persist hypothetical configurations (see
+``examples/design_exploration.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from .config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    GenerationConfig,
+    MemoryLatencyConfig,
+    PrefetchConfig,
+    TlbConfig,
+)
+
+_NESTED_TYPES = {
+    "l1i": CacheConfig,
+    "l1d": CacheConfig,
+    "l2": CacheConfig,
+    "l3": CacheConfig,
+    "l1i_tlb": TlbConfig,
+    "l1d_tlb": TlbConfig,
+    "l15d_tlb": TlbConfig,
+    "l2_tlb": TlbConfig,
+    "branch": BranchPredictorConfig,
+    "prefetch": PrefetchConfig,
+    "memlat": MemoryLatencyConfig,
+}
+
+
+def config_to_dict(config: GenerationConfig) -> Dict[str, Any]:
+    """Recursively convert a generation config to plain dicts/lists."""
+    out = dataclasses.asdict(config)
+    # Tuples (fp_latencies) become lists via asdict already on round-trip;
+    # normalise for JSON friendliness.
+    out["fp_latencies"] = list(out["fp_latencies"])
+    return out
+
+
+def config_from_dict(data: Dict[str, Any]) -> GenerationConfig:
+    """Rebuild a :class:`GenerationConfig` from :func:`config_to_dict`
+    output (raises ``TypeError``/``ValueError`` on malformed input)."""
+    kwargs = dict(data)
+    for field, cls in _NESTED_TYPES.items():
+        value = kwargs.get(field)
+        if value is None:
+            continue
+        if not isinstance(value, dict):
+            raise TypeError(f"field {field!r} must be a mapping")
+        kwargs[field] = cls(**value)
+    if "fp_latencies" in kwargs:
+        kwargs["fp_latencies"] = tuple(kwargs["fp_latencies"])
+    return GenerationConfig(**kwargs)
+
+
+def config_to_json(config: GenerationConfig, indent: Optional[int] = 2) -> str:
+    import json
+
+    return json.dumps(config_to_dict(config), indent=indent)
+
+
+def config_from_json(text: str) -> GenerationConfig:
+    import json
+
+    return config_from_dict(json.loads(text))

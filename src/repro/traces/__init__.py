@@ -1,0 +1,30 @@
+"""Synthetic trace substrate (paper Section II substitution).
+
+Public entry points:
+
+- :func:`~repro.traces.workloads.make_trace` — one slice from a family.
+- :func:`~repro.traces.workloads.standard_suite` — the cross-generation
+  evaluation population (Figures 9/16/17).
+- :func:`~repro.traces.workloads.cbp5_suite` — Figure 1's branch traces.
+- :class:`~repro.traces.types.Trace` / :class:`~repro.traces.types.TraceRecord`
+  — the record format every simulator consumes.
+"""
+
+from .types import (  # noqa: F401
+    BRANCH_KINDS,
+    FP_KINDS,
+    INDIRECT_KINDS,
+    Kind,
+    MEMORY_KINDS,
+    Trace,
+    TraceRecord,
+)
+from .generator import ProgramWalker, generate_trace  # noqa: F401
+from .program import Program  # noqa: F401
+from .workloads import (  # noqa: F401
+    FAMILIES,
+    SUITE_WEIGHTS,
+    cbp5_suite,
+    make_trace,
+    standard_suite,
+)

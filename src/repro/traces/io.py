@@ -1,0 +1,79 @@
+"""Trace save/load: a compact JSON-lines format.
+
+Lets users persist exact trace slices for sharing, regression pinning, or
+consumption by external tools.  Format: one header line (name, family,
+seed), then one compact record per line:
+
+    [pc, kind, taken, target, addr, src1_dist, src2_dist]
+
+Fields after ``kind`` are omitted from the right when zero/false, so plain
+ALU ops serialise as ``[pc, 0]``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Union
+
+from .types import Kind, Trace, TraceRecord
+
+_FORMAT_VERSION = 1
+
+
+def _encode_record(r: TraceRecord) -> List:
+    full = [r.pc, int(r.kind), 1 if r.taken else 0, r.target, r.addr,
+            r.src1_dist, r.src2_dist]
+    while len(full) > 2 and not full[-1]:
+        full.pop()
+    return full
+
+
+def _decode_record(cells: List) -> TraceRecord:
+    pc, kind = cells[0], Kind(cells[1])
+    taken = bool(cells[2]) if len(cells) > 2 else False
+    target = cells[3] if len(cells) > 3 else 0
+    addr = cells[4] if len(cells) > 4 else 0
+    src1 = cells[5] if len(cells) > 5 else 0
+    src2 = cells[6] if len(cells) > 6 else 0
+    return TraceRecord(pc=pc, kind=kind, taken=taken, target=target,
+                       addr=addr, src1_dist=src1, src2_dist=src2)
+
+
+def dump_trace(trace: Trace, fp: IO[str]) -> None:
+    """Write a trace to an open text file."""
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "family": trace.family,
+        "seed": trace.seed,
+        "length": len(trace),
+    }
+    fp.write(json.dumps(header) + "\n")
+    for r in trace:
+        fp.write(json.dumps(_encode_record(r)) + "\n")
+
+
+def load_trace(fp: IO[str]) -> Trace:
+    """Read a trace written by :func:`dump_trace`."""
+    header = json.loads(fp.readline())
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version "
+                         f"{header.get('version')!r}")
+    records = [_decode_record(json.loads(line))
+               for line in fp if line.strip()]
+    if len(records) != header.get("length"):
+        raise ValueError(
+            f"trace truncated: header says {header.get('length')} records, "
+            f"found {len(records)}")
+    return Trace(name=header["name"], family=header["family"],
+                 records=records, seed=header.get("seed"))
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    with open(path, "w") as fp:
+        dump_trace(trace, fp)
+
+
+def read_trace(path: str) -> Trace:
+    with open(path) as fp:
+        return load_trace(fp)

@@ -1,0 +1,590 @@
+"""Synthetic static programs.
+
+The paper's workload is 4,026 trace slices from real suites (Section II).
+We cannot ship those, so this module builds *synthetic static programs* —
+control-flow graphs of basic blocks whose branches follow parameterized
+behaviour models and whose loads/stores follow parameterized address
+streams.  Walking such a program (see :mod:`repro.traces.generator`)
+produces trace slices that exercise the same microarchitectural axes the
+paper's workloads do: branch predictability, history-correlation distance,
+code footprint (BTB pressure), indirect-target counts, memory footprint,
+stride regularity and spatial locality.
+
+All randomness is drawn from an explicit ``random.Random`` so programs and
+traces are fully reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .types import Kind
+
+#: Fixed instruction size; AArch64 instructions are 4 bytes.
+INSTRUCTION_BYTES = 4
+
+
+# ---------------------------------------------------------------------------
+# Branch behaviour models
+# ---------------------------------------------------------------------------
+
+class BranchBehavior:
+    """Decides a conditional branch's outcome at walk time.
+
+    ``outcome`` receives the walker's global outcome history (most recent
+    last) so behaviours can correlate with prior branches, which is what
+    gives global-history predictors (the SHP) something to learn.
+    """
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget per-instance dynamic state (loop counters etc.)."""
+
+
+class AlwaysTaken(BranchBehavior):
+    """Unconditionally taken; also used for conditionals that never fail.
+
+    These are the branches the SHP deliberately does not train on
+    (Section IV-A: always-taken filtering) and that the 1AT/ZAT
+    accelerators target (Sections IV-C/E).
+    """
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        return True
+
+
+class NeverTaken(BranchBehavior):
+    """Never-taken conditional (the common lead NOT-TAKEN case)."""
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        return False
+
+
+class BiasedBranch(BranchBehavior):
+    """Taken with fixed probability ``p`` (bimodally predictable for
+    extreme ``p``, hard for ``p`` near 0.5)."""
+
+    def __init__(self, p_taken: float) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be in [0,1], got {p_taken}")
+        self.p_taken = p_taken
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        return rng.random() < self.p_taken
+
+
+class LoopBranch(BranchBehavior):
+    """Backward loop branch: taken ``trip_count - 1`` times, then not
+    taken once.  Perfectly predictable from local history when the trip
+    count fits the history, and the bread and butter of the uBTB."""
+
+    def __init__(self, trip_count: int) -> None:
+        if trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+        self.trip_count = trip_count
+        self._iteration = 0
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        self._iteration += 1
+        if self._iteration >= self.trip_count:
+            self._iteration = 0
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._iteration = 0
+
+
+class PatternBranch(BranchBehavior):
+    """Cycles through a fixed taken/not-taken pattern such as ``"TTN"``.
+
+    Predictable from *local* history — exercises the uBTB's local-history
+    hashed perceptron (LHP) versus the global-history SHP.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        if not pattern or set(pattern) - {"T", "N"}:
+            raise ValueError(f"pattern must be nonempty over 'T'/'N': {pattern!r}")
+        self.pattern = pattern
+        self._pos = 0
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        taken = self.pattern[self._pos] == "T"
+        self._pos = (self._pos + 1) % len(self.pattern)
+        return taken
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class GlobalCorrelated(BranchBehavior):
+    """Outcome is a boolean function (XOR) of earlier *global* outcomes.
+
+    ``distances`` are in branches-back (1 = the previous conditional).
+    A history-indexed predictor learns this only if its history covers
+    ``max(distances)`` — this is precisely the knob behind Figure 1's
+    GHIST-length sweep.  ``noise`` flips the outcome with that probability,
+    bounding achievable accuracy.
+    """
+
+    def __init__(self, distances: Sequence[int], noise: float = 0.0,
+                 invert: bool = False) -> None:
+        if not distances or any(d < 1 for d in distances):
+            raise ValueError("distances must be >= 1")
+        if not 0.0 <= noise <= 0.5:
+            raise ValueError("noise must be in [0, 0.5]")
+        self.distances = tuple(distances)
+        self.noise = noise
+        self.invert = invert
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        acc = 1 if self.invert else 0
+        n = len(ghist)
+        for d in self.distances:
+            if d <= n:
+                acc ^= ghist[n - d]
+        taken = bool(acc)
+        if self.noise and rng.random() < self.noise:
+            taken = not taken
+        return taken
+
+
+class RandomBranch(BranchBehavior):
+    """Fundamentally unpredictable branch (data-dependent on random input);
+    the right-hand tail of Figure 9."""
+
+    def __init__(self, p_taken: float = 0.5) -> None:
+        self.p_taken = p_taken
+
+    def outcome(self, ghist: Sequence[int], rng: random.Random) -> bool:
+        return rng.random() < self.p_taken
+
+
+# ---------------------------------------------------------------------------
+# Indirect-target selectors
+# ---------------------------------------------------------------------------
+
+class TargetSelector:
+    """Chooses which of an indirect branch's targets executes next.
+
+    ``select`` receives the walker's *global* recent-target history (PCs of
+    the last few indirect targets program-wide, newest last) so workload
+    behaviours can correlate with exactly the signal real hardware can
+    observe — the basis of M6's indirect target hash (Section IV-F).
+    """
+
+    def __init__(self, n_targets: int) -> None:
+        if n_targets < 1:
+            raise ValueError("need at least one target")
+        self.n_targets = n_targets
+
+    def select(self, rng: random.Random,
+               recent_targets: Sequence[int] = ()) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        pass
+
+
+class RoundRobinSelector(TargetSelector):
+    """Cycles deterministically through targets; VPC-learnable."""
+
+    def __init__(self, n_targets: int) -> None:
+        super().__init__(n_targets)
+        self._pos = 0
+
+    def select(self, rng: random.Random,
+               recent_targets: Sequence[int] = ()) -> int:
+        t = self._pos
+        self._pos = (self._pos + 1) % self.n_targets
+        return t
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class HistorySelector(TargetSelector):
+    """Next target is a deterministic function of the last ``k`` *global*
+    indirect targets.
+
+    This is the JavaScript-style megamorphic call-site behaviour that
+    motivated M6's dedicated indirect hash table (Section IV-F): the target
+    stream correlates with *indirect target history*, not with conditional
+    branch history — so the VPC (whose virtual branches consult the
+    GHIST/PHIST-hashed SHP) cannot learn it, while a target-history-indexed
+    table can.
+    """
+
+    def __init__(self, n_targets: int, k: int = 1, salt: int = 0,
+                 epsilon: float = 0.02) -> None:
+        super().__init__(n_targets)
+        self.k = k
+        self.salt = salt
+        #: Small random-jump probability: models the data-dependent
+        #: escapes real dispatch loops exhibit (and bounds achievable
+        #: prediction accuracy).
+        self.epsilon = epsilon
+
+    def select(self, rng: random.Random,
+               recent_targets: Sequence[int] = ()) -> int:
+        if self.epsilon and rng.random() < self.epsilon:
+            return rng.randrange(self.n_targets)
+        h = self.salt
+        for pc in recent_targets[-self.k:]:
+            h = (h * 1000003 + (pc >> 2) + 1) & 0xFFFFFFFF
+        return h % self.n_targets
+
+
+class SkewedRandomSelector(TargetSelector):
+    """Random target with a Zipf-like skew (a few hot targets, a long
+    tail) — typical virtual-dispatch behaviour."""
+
+    def __init__(self, n_targets: int, skew: float = 1.2) -> None:
+        super().__init__(n_targets)
+        weights = [1.0 / (i + 1) ** skew for i in range(n_targets)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def select(self, rng: random.Random,
+               recent_targets: Sequence[int] = ()) -> int:
+        x = rng.random()
+        for i, c in enumerate(self._cdf):
+            if x <= c:
+                return i
+        return self.n_targets - 1
+
+
+# ---------------------------------------------------------------------------
+# Memory behaviour models
+# ---------------------------------------------------------------------------
+
+class MemoryBehavior:
+    """Produces the address stream for one static load/store site (or one
+    shared stream among several sites)."""
+
+    def next_address(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        pass
+
+
+class FixedAddress(MemoryBehavior):
+    """Scalar/stack access that always hits the same line."""
+
+    def __init__(self, address: int) -> None:
+        self.address = address
+
+    def next_address(self, rng: random.Random) -> int:
+        return self.address
+
+
+class MultiStrideStream(MemoryBehavior):
+    """Multi-component strided stream, e.g. ``+2x2, +5x1`` meaning stride 2
+    twice then stride 5 once, repeating (Section VII-A's example).
+
+    Strides are in bytes.  The stream wraps inside ``region_bytes`` so the
+    working set is bounded.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        components: Sequence[Tuple[int, int]],
+        region_bytes: int = 1 << 22,
+    ) -> None:
+        if not components:
+            raise ValueError("need at least one (stride, repeat) component")
+        for stride, repeat in components:
+            if repeat < 1:
+                raise ValueError("component repeat must be >= 1")
+        self.base = base
+        self.components = [(int(s), int(r)) for s, r in components]
+        self.region_bytes = region_bytes
+        self._offset = 0
+        self._comp = 0
+        self._rep = 0
+
+    def next_address(self, rng: random.Random) -> int:
+        addr = self.base + self._offset
+        stride, repeat = self.components[self._comp]
+        self._offset = (self._offset + stride) % self.region_bytes
+        self._rep += 1
+        if self._rep >= repeat:
+            self._rep = 0
+            self._comp = (self._comp + 1) % len(self.components)
+        return addr
+
+    def reset(self) -> None:
+        self._offset = 0
+        self._comp = 0
+        self._rep = 0
+
+
+class PointerChase(MemoryBehavior):
+    """Linked-node traversal: nodes visited in a fixed random permutation
+    cycle, so no stride pattern exists.  Each visit touches the node header;
+    pair with :class:`StructFields` offsets for SMS-friendly behaviour."""
+
+    def __init__(self, base: int, n_nodes: int, node_bytes: int,
+                 seed: int) -> None:
+        if n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        self.base = base
+        self.n_nodes = n_nodes
+        self.node_bytes = node_bytes
+        order = list(range(n_nodes))
+        random.Random(seed).shuffle(order)
+        # Build a single cycle over all nodes: order[i] -> order[i+1].
+        self._next: Dict[int, int] = {}
+        for i, node in enumerate(order):
+            self._next[node] = order[(i + 1) % n_nodes]
+        self._current = order[0]
+        self._start = order[0]
+
+    def next_address(self, rng: random.Random) -> int:
+        addr = self.base + self._current * self.node_bytes
+        self._current = self._next[self._current]
+        return addr
+
+    def current_node_address(self) -> int:
+        return self.base + self._current * self.node_bytes
+
+    def reset(self) -> None:
+        self._current = self._start
+
+
+class StructFields(MemoryBehavior):
+    """Accesses fixed field offsets off another behaviour's current node.
+
+    When the *primary* pointer-chase load misses on a new region, these
+    associated accesses at repeating offsets are exactly what the SMS
+    prefetcher records and replays (Section VII-C).
+    """
+
+    def __init__(self, parent: PointerChase, offsets: Sequence[int]) -> None:
+        if not offsets:
+            raise ValueError("need at least one field offset")
+        self.parent = parent
+        self.offsets = list(offsets)
+        self._pos = 0
+        self._node_addr = parent.current_node_address()
+
+    def next_address(self, rng: random.Random) -> int:
+        if self._pos == 0:
+            # Latch the node the parent is about to visit next.
+            self._node_addr = self.parent.current_node_address()
+        addr = self._node_addr + self.offsets[self._pos]
+        self._pos = (self._pos + 1) % len(self.offsets)
+        return addr
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class RandomInRegion(MemoryBehavior):
+    """Uniformly random accesses within a working set — cache-capacity
+    stress with no learnable pattern."""
+
+    def __init__(self, base: int, region_bytes: int,
+                 align: int = 8) -> None:
+        if region_bytes < align:
+            raise ValueError("region smaller than alignment")
+        self.base = base
+        self.region_bytes = region_bytes
+        self.align = align
+
+    def next_address(self, rng: random.Random) -> int:
+        off = rng.randrange(0, self.region_bytes // self.align) * self.align
+        return self.base + off
+
+
+class HotColdRegion(MemoryBehavior):
+    """Mostly-hot small region with occasional cold-region excursions —
+    the shape that coordinated L2/L3 management preserves against
+    transient streams (Section VIII-A)."""
+
+    def __init__(self, base: int, hot_bytes: int, cold_bytes: int,
+                 p_cold: float = 0.05) -> None:
+        self.hot = RandomInRegion(base, hot_bytes)
+        self.cold = RandomInRegion(base + hot_bytes, cold_bytes)
+        self.p_cold = p_cold
+
+    def next_address(self, rng: random.Random) -> int:
+        if rng.random() < self.p_cold:
+            return self.cold.next_address(rng)
+        return self.hot.next_address(rng)
+
+
+# ---------------------------------------------------------------------------
+# Static program structure
+# ---------------------------------------------------------------------------
+
+class TemplateOp:
+    """One non-branch op slot in a basic block's body template."""
+
+    __slots__ = ("kind", "mem_behavior", "src1_dist", "src2_dist")
+
+    def __init__(self, kind: Kind, mem_behavior: Optional[MemoryBehavior] = None,
+                 src1_dist: int = 0, src2_dist: int = 0) -> None:
+        self.kind = kind
+        self.mem_behavior = mem_behavior
+        self.src1_dist = src1_dist
+        self.src2_dist = src2_dist
+
+
+class Terminator:
+    """Base class for a block's final (branch) instruction."""
+
+    kind: Kind = Kind.BR_UNCOND
+
+
+class CondTerminator(Terminator):
+    """Conditional branch: taken -> ``taken_block``, else fall through to
+    the next block in layout order."""
+
+    kind = Kind.BR_COND
+
+    def __init__(self, behavior: BranchBehavior, taken_block: int,
+                 depends_on_load: bool = False) -> None:
+        self.behavior = behavior
+        self.taken_block = taken_block
+        #: When True, the branch condition consumes a recent load — the
+        #: low-IPC pointer-chasing shape where mispredicts hide behind misses.
+        self.depends_on_load = depends_on_load
+
+
+class UncondTerminator(Terminator):
+    kind = Kind.BR_UNCOND
+
+    def __init__(self, target_block: int) -> None:
+        self.target_block = target_block
+
+
+class CallTerminator(Terminator):
+    kind = Kind.BR_CALL
+
+    def __init__(self, callee_block: int) -> None:
+        self.callee_block = callee_block
+
+
+class RetTerminator(Terminator):
+    kind = Kind.BR_RET
+
+
+class IndirectTerminator(Terminator):
+    kind = Kind.BR_INDIRECT
+
+    def __init__(self, selector: TargetSelector,
+                 target_blocks: Sequence[int]) -> None:
+        if selector.n_targets != len(target_blocks):
+            raise ValueError("selector arity must match target count")
+        self.selector = selector
+        self.target_blocks = list(target_blocks)
+
+
+class IndirectCallTerminator(Terminator):
+    kind = Kind.BR_INDIRECT_CALL
+
+    def __init__(self, selector: TargetSelector,
+                 callee_blocks: Sequence[int]) -> None:
+        if selector.n_targets != len(callee_blocks):
+            raise ValueError("selector arity must match target count")
+        self.selector = selector
+        self.callee_blocks = list(callee_blocks)
+
+
+class FallthroughTerminator(Terminator):
+    """No branch at all — the block simply runs into the next one.  Long
+    runs of these create the branch-free BTB lines that M5's Empty Line
+    Optimization skips (Section IV-E)."""
+
+    kind = Kind.NOP
+
+
+class BasicBlock:
+    """A straight-line body template plus one terminator.
+
+    ``pc`` is assigned during layout; the terminator occupies the last
+    instruction slot, except for :class:`FallthroughTerminator` blocks
+    which contain only body ops.
+    """
+
+    def __init__(self, body: Sequence[TemplateOp],
+                 terminator: Terminator) -> None:
+        self.body = list(body)
+        self.terminator = terminator
+        self.pc = 0  # assigned by Program layout
+
+    @property
+    def has_branch(self) -> bool:
+        return not isinstance(self.terminator, FallthroughTerminator)
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.body) + (1 if self.has_branch else 0)
+
+    @property
+    def branch_pc(self) -> int:
+        """PC of the terminating branch (valid only if ``has_branch``)."""
+        return self.pc + len(self.body) * INSTRUCTION_BYTES
+
+    @property
+    def end_pc(self) -> int:
+        """PC one past the last instruction (fallthrough address)."""
+        return self.pc + self.instruction_count * INSTRUCTION_BYTES
+
+
+class Program:
+    """A laid-out synthetic program: blocks with assigned PCs.
+
+    Blocks are placed contiguously starting at ``code_base`` so that the
+    fall-through successor of block ``i`` is block ``i + 1``, exactly like
+    real straight-line code.  ``code_base`` is line-aligned so BTB line
+    geometry (8 branches per 128B, Figure 2) behaves realistically.
+    """
+
+    def __init__(self, blocks: Sequence[BasicBlock], code_base: int = 0x400000,
+                 name: str = "program") -> None:
+        if not blocks:
+            raise ValueError("a program needs at least one block")
+        self.blocks = list(blocks)
+        self.code_base = code_base
+        self.name = name
+        self._layout()
+
+    def _layout(self) -> None:
+        pc = self.code_base
+        for block in self.blocks:
+            block.pc = pc
+            pc += block.instruction_count * INSTRUCTION_BYTES
+        self.code_end = pc
+
+    @property
+    def code_footprint_bytes(self) -> int:
+        return self.code_end - self.code_base
+
+    def fallthrough_index(self, block_index: int) -> int:
+        """Index of the block executed when block ``block_index`` does not
+        branch away (wraps to 0 at the end of the program)."""
+        return (block_index + 1) % len(self.blocks)
+
+    def reset(self) -> None:
+        """Reset all dynamic behaviour state (loop counters, streams) so a
+        fresh walk reproduces the same trace."""
+        for block in self.blocks:
+            for op in block.body:
+                if op.mem_behavior is not None:
+                    op.mem_behavior.reset()
+            term = block.terminator
+            if isinstance(term, CondTerminator):
+                term.behavior.reset()
+            elif isinstance(term, (IndirectTerminator, IndirectCallTerminator)):
+                term.selector.reset()

@@ -1,0 +1,167 @@
+"""Trace record types shared by the whole simulator.
+
+A trace is a sequence of retired micro-ops, each carrying its PC, kind,
+branch outcome/target (for branches), memory address (for loads/stores) and
+synthetic register-dependence distances consumed by the dataflow timing
+model.  This mirrors the information content of the instruction traces the
+paper's trace-driven performance model consumes (Section II).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Optional, Sequence
+
+
+class Kind(enum.IntEnum):
+    """Micro-op kind.
+
+    The integer pipes follow Table I's footnote b: "S" ALUs handle
+    add/shift/logical, "C" ALUs add mul/indirect-branch, "CD" ALUs add
+    divide, and "BR" pipes handle only direct branches.
+    """
+
+    ALU = 0           # add/shift/logical (S pipes)
+    MUL = 1           # multiply (C/CD pipes)
+    DIV = 2           # divide (CD pipes)
+    MOV = 3           # register-register move (zero-cycle on M3+)
+    LOAD = 4
+    STORE = 5
+    FP_ADD = 6
+    FP_MUL = 7
+    FP_MAC = 8
+    BR_COND = 9       # direct conditional branch
+    BR_UNCOND = 10    # direct unconditional branch
+    BR_CALL = 11      # direct call (pushes RAS)
+    BR_RET = 12       # return (pops RAS)
+    BR_INDIRECT = 13  # indirect jump (VPC-predicted)
+    BR_INDIRECT_CALL = 14  # indirect call (VPC-predicted, pushes RAS)
+    NOP = 15
+
+
+BRANCH_KINDS = frozenset(
+    {
+        Kind.BR_COND,
+        Kind.BR_UNCOND,
+        Kind.BR_CALL,
+        Kind.BR_RET,
+        Kind.BR_INDIRECT,
+        Kind.BR_INDIRECT_CALL,
+    }
+)
+
+INDIRECT_KINDS = frozenset(
+    {Kind.BR_RET, Kind.BR_INDIRECT, Kind.BR_INDIRECT_CALL}
+)
+
+MEMORY_KINDS = frozenset({Kind.LOAD, Kind.STORE})
+
+FP_KINDS = frozenset({Kind.FP_ADD, Kind.FP_MUL, Kind.FP_MAC})
+
+
+class TraceRecord:
+    """One retired micro-op.
+
+    ``src1_dist``/``src2_dist`` are register-dependence distances: this op's
+    source was produced by the op ``dist`` records earlier (0 means "no
+    dependence / value ready long ago").  The timing model resolves these
+    into producer timestamps.
+    """
+
+    __slots__ = ("pc", "kind", "taken", "target", "addr", "size",
+                 "src1_dist", "src2_dist")
+
+    def __init__(
+        self,
+        pc: int,
+        kind: Kind,
+        taken: bool = False,
+        target: int = 0,
+        addr: int = 0,
+        size: int = 8,
+        src1_dist: int = 0,
+        src2_dist: int = 0,
+    ) -> None:
+        self.pc = pc
+        self.kind = kind
+        self.taken = taken
+        self.target = target
+        self.addr = addr
+        self.size = size
+        self.src1_dist = src1_dist
+        self.src2_dist = src2_dist
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind in BRANCH_KINDS
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.kind == Kind.BR_COND
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.kind in INDIRECT_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in MEMORY_KINDS
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == Kind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == Kind.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.is_branch:
+            extra = f" taken={self.taken} target={self.target:#x}"
+        elif self.is_memory:
+            extra = f" addr={self.addr:#x}"
+        return f"<TraceRecord pc={self.pc:#x} {self.kind.name}{extra}>"
+
+
+class Trace:
+    """A named slice of retired micro-ops plus provenance metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        records: Sequence[TraceRecord],
+        seed: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.family = family
+        self.records: List[TraceRecord] = list(records)
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx: int) -> TraceRecord:
+        return self.records[idx]
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for r in self.records if r.is_branch)
+
+    @property
+    def conditional_count(self) -> int:
+        return sum(1 for r in self.records if r.is_conditional)
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for r in self.records if r.is_load)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Trace {self.name!r} family={self.family!r} "
+            f"len={len(self.records)}>"
+        )

@@ -1,0 +1,739 @@
+"""Workload families and the standard suite population.
+
+The paper evaluates on 4,026 trace slices drawn from SPEC CPU2000/2006, web
+suites (Speedometer, Octane, BBench, SunSpider), mobile suites (AnTuTu,
+Geekbench) and popular games/applications (Section II).  Those traces are
+proprietary, so this module provides *families* of seeded synthetic
+workloads spanning the same behavioural axes:
+
+``loop_kernel``
+    Tiny, hot, highly predictable kernels (uBTB/UOC territory; the flat
+    left side of Figure 9 and the high-IPC right side of Figure 17).
+``specint_like``
+    Medium code footprint, history-correlated + biased branches, mixed
+    memory — the middle of Figure 9 where predictor improvements pay off.
+``specfp_like``
+    Streaming FP loops: long FMAC chains, strided multi-MB arrays.
+``web_like``
+    Large code footprints (BTB/L2BTB pressure), megamorphic indirect
+    branches with history-driven targets (the JavaScript behaviour that
+    motivated M6's indirect hash, Section IV-F), noisy conditionals.
+``mobile_like``
+    Game/app-style blends of the above.
+``pointer_chase``
+    Dependent-load traversals with SMS-friendly field offsets; low IPC.
+``stream_like``
+    memcpy-ish DRAM-resident streaming; prefetch-dominated.
+``hard_random``
+    Data-dependent unpredictable branches (the clipped right tail of
+    Figure 9).
+``dense_branch``
+    More than 8 branches per 128B line to force vBTB spill (Figure 2).
+
+Every family builder takes an explicit seed; identical seeds give identical
+programs and traces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .generator import generate_trace
+from .program import (
+    AlwaysTaken,
+    BasicBlock,
+    BiasedBranch,
+    BranchBehavior,
+    CallTerminator,
+    CondTerminator,
+    FallthroughTerminator,
+    FixedAddress,
+    GlobalCorrelated,
+    HistorySelector,
+    HotColdRegion,
+    IndirectCallTerminator,
+    IndirectTerminator,
+    LoopBranch,
+    MemoryBehavior,
+    MultiStrideStream,
+    NeverTaken,
+    PatternBranch,
+    PointerChase,
+    Program,
+    RandomBranch,
+    RandomInRegion,
+    RetTerminator,
+    RoundRobinSelector,
+    SkewedRandomSelector,
+    StructFields,
+    TemplateOp,
+    UncondTerminator,
+)
+from .types import Kind, Trace
+
+#: Data segment base, far from the code segment.
+DATA_BASE = 0x10_0000_0000
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Body-construction helpers
+# ---------------------------------------------------------------------------
+
+def _dep_dist(rng: random.Random, ilp: str) -> int:
+    """Draw a source-dependence distance for a compute op.
+
+    ``ilp`` profiles: ``"chain"`` serialises (distance 1), ``"moderate"``
+    mixes short distances, ``"parallel"`` is mostly independent.
+    """
+    if ilp == "chain":
+        return 1
+    if ilp == "moderate":
+        return rng.choice((0, 1, 1, 2, 3, 5))
+    if ilp == "parallel":
+        return rng.choice((0, 0, 0, 0, 4, 8))
+    raise ValueError(f"unknown ilp profile {ilp!r}")
+
+
+def _make_body(
+    rng: random.Random,
+    n_ops: int,
+    mem_ops: Sequence[Tuple[Kind, MemoryBehavior, int]],
+    fp_fraction: float,
+    ilp: str,
+) -> List[TemplateOp]:
+    """Build a block body of ``n_ops`` ops containing the given memory ops.
+
+    ``mem_ops`` entries are ``(kind, behavior, src1_dist)``; they are spread
+    evenly through the body.  Remaining slots become ALU/FP ops with
+    dependence distances drawn from the ``ilp`` profile.
+    """
+    if len(mem_ops) > n_ops:
+        raise ValueError("more memory ops than body slots")
+    body: List[Optional[TemplateOp]] = [None] * n_ops
+    if mem_ops:
+        stride = max(1, n_ops // len(mem_ops))
+        pos = 0
+        for kind, behavior, src1 in mem_ops:
+            while pos < n_ops and body[pos] is not None:
+                pos += 1
+            if pos >= n_ops:  # pragma: no cover - guarded by len check
+                break
+            body[pos] = TemplateOp(kind, behavior, src1_dist=src1)
+            pos += stride
+    for i in range(n_ops):
+        if body[i] is not None:
+            continue
+        if rng.random() < fp_fraction:
+            kind = rng.choice((Kind.FP_ADD, Kind.FP_MUL, Kind.FP_MAC))
+        else:
+            kind = rng.choice(
+                (Kind.ALU, Kind.ALU, Kind.ALU, Kind.ALU, Kind.MOV, Kind.MUL)
+            )
+        body[i] = TemplateOp(kind, None, src1_dist=_dep_dist(rng, ilp),
+                             src2_dist=_dep_dist(rng, ilp))
+    return [op for op in body if op is not None]
+
+
+def _cond_behavior(rng: random.Random, mix: Dict[str, float],
+                   max_corr_dist: int = 48,
+                   noise: float = 0.02) -> BranchBehavior:
+    """Draw one conditional-branch behaviour from a weighted mix."""
+    kinds = list(mix.keys())
+    weights = [mix[k] for k in kinds]
+    choice = rng.choices(kinds, weights=weights, k=1)[0]
+    if choice == "always":
+        return AlwaysTaken()
+    if choice == "never":
+        return NeverTaken()
+    if choice == "biased":
+        p = rng.choice((0.02, 0.05, 0.05, 0.9, 0.95, 0.98))
+        return BiasedBranch(p)
+    if choice == "loop":
+        return LoopBranch(rng.randint(3, 40))
+    if choice == "pattern":
+        length = rng.randint(2, 6)
+        pattern = "".join(rng.choice("TN") for _ in range(length))
+        if "T" not in pattern:
+            pattern = "T" + pattern[1:]
+        return PatternBranch(pattern)
+    if choice == "correlated":
+        n_terms = rng.randint(1, 2)
+        distances = sorted(
+            rng.randint(1, max_corr_dist) for _ in range(n_terms)
+        )
+        return GlobalCorrelated(distances, noise=noise,
+                                invert=rng.random() < 0.5)
+    if choice == "random":
+        return RandomBranch(rng.uniform(0.25, 0.75))
+    raise ValueError(f"unknown behaviour kind {choice!r}")
+
+
+# ---------------------------------------------------------------------------
+# Family builders
+# ---------------------------------------------------------------------------
+
+FamilyBuilder = Callable[[int], Program]
+
+
+def loop_kernel(seed: int = 0) -> Program:
+    """Tiny hot loop nest with L1-resident data and high ILP."""
+    rng = random.Random(seed)
+    inner_trip = rng.randint(8, 64)
+    outer_trip = rng.randint(8, 32)
+    stream = MultiStrideStream(DATA_BASE, [(8, 1)], region_bytes=4 * KIB)
+    acc = FixedAddress(DATA_BASE + 64 * KIB)
+    body_size = rng.randint(12, 24)
+    blocks = [
+        # Block 0: outer-loop header.
+        BasicBlock(
+            _make_body(rng, 3, [(Kind.LOAD, acc, 0)], 0.2, "parallel"),
+            FallthroughTerminator(),
+        ),
+        # Block 1: inner loop body, backward loop branch to itself.
+        BasicBlock(
+            _make_body(rng, body_size, [(Kind.LOAD, stream, 0)],
+                       rng.uniform(0.1, 0.5), "parallel"),
+            CondTerminator(LoopBranch(inner_trip), taken_block=1),
+        ),
+        # Block 2: outer loop latch back to block 0.
+        BasicBlock(
+            _make_body(rng, 2, [(Kind.STORE, acc, 1)], 0.0, "moderate"),
+            CondTerminator(LoopBranch(outer_trip), taken_block=0),
+        ),
+        # Block 3: restart.
+        BasicBlock([TemplateOp(Kind.ALU)], UncondTerminator(0)),
+    ]
+    return Program(blocks, name=f"loop_kernel-{seed}")
+
+
+def _structured_program(
+    rng: random.Random,
+    name: str,
+    n_funcs: int,
+    blocks_per_func: Tuple[int, int],
+    block_size: Tuple[int, int],
+    cond_mix: Dict[str, float],
+    mem_behaviors: Sequence[Tuple[Kind, MemoryBehavior]],
+    mem_density: float,
+    fp_fraction: float,
+    ilp: str,
+    p_call: float = 0.08,
+    p_indirect: float = 0.0,
+    indirect_targets: Tuple[int, int] = (4, 8),
+    indirect_selector: str = "skewed",
+    max_corr_dist: int = 48,
+    cond_noise: float = 0.02,
+    p_fallthrough: float = 0.0,
+    driver_dispatch: int = 0,
+) -> Program:
+    """Common builder for function-structured programs.
+
+    Functions are laid out consecutively; each function's last block
+    returns.  Function 0 is the driver: its last block unconditionally
+    restarts function 0, so walks never terminate.
+    """
+    blocks: List[BasicBlock] = []
+    func_entries: List[int] = []
+    func_ranges: List[Tuple[int, int]] = []
+
+    # First pass: create blocks with placeholder terminators.
+    for _ in range(n_funcs):
+        entry = len(blocks)
+        func_entries.append(entry)
+        n_blocks = rng.randint(*blocks_per_func)
+        for _ in range(n_blocks):
+            size = rng.randint(*block_size)
+            n_mem = sum(1 for _ in range(size) if rng.random() < mem_density)
+            n_mem = min(n_mem, size)
+            mem_ops: List[Tuple[Kind, MemoryBehavior, int]] = []
+            for _ in range(n_mem):
+                kind, behavior = rng.choice(list(mem_behaviors))
+                mem_ops.append((kind, behavior, 0))
+            body = _make_body(rng, size, mem_ops, fp_fraction, ilp)
+            blocks.append(BasicBlock(body, RetTerminator()))
+        func_ranges.append((entry, len(blocks)))
+
+    # Second pass: assign real terminators now that indices are known.
+    for fi, (start, end) in enumerate(func_ranges):
+        # The driver function must actually reach its callees: space
+        # guaranteed call sites along it (stochastic rolls alone can leave
+        # the hot path call-free when taken branches skip blocks).
+        if driver_dispatch > 1 and fi == 0:
+            call_stride = 3  # dispatch loop: call out every few blocks
+        else:
+            call_stride = (
+                max(2, int(round(1.0 / p_call))) if p_call > 0 else 0
+            )
+        for bi in range(start, end):
+            is_last = bi == end - 1
+            if is_last:
+                if fi == 0:
+                    blocks[bi].terminator = UncondTerminator(0)
+                else:
+                    blocks[bi].terminator = RetTerminator()
+                continue
+            if (fi == 0 and n_funcs > 1 and call_stride
+                    and (bi - start) % call_stride == call_stride - 1):
+                if driver_dispatch > 1:
+                    # Interpreter/dispatch-loop style: the driver's call
+                    # sites rotate through many callees via indirect calls,
+                    # keeping a wide code footprint hot (the JavaScript
+                    # behaviour of Section IV-F).
+                    n_callees = min(driver_dispatch, n_funcs - 1)
+                    callees = rng.sample(range(1, n_funcs), k=n_callees)
+                    sel = HistorySelector(n_callees, k=1, salt=bi)
+                    blocks[bi].terminator = IndirectCallTerminator(
+                        sel, [func_entries[c] for c in callees]
+                    )
+                else:
+                    callee = rng.randrange(1, n_funcs)
+                    blocks[bi].terminator = CallTerminator(
+                        func_entries[callee]
+                    )
+                continue
+            roll = rng.random()
+            if roll < p_fallthrough:
+                blocks[bi].terminator = FallthroughTerminator()
+            elif roll < p_fallthrough + p_call and fi + 1 < n_funcs:
+                # Call graph is a DAG (callee index > caller index): random
+                # cycles would mutually recurse forever once the bounded
+                # call stack drops frames, trapping the walk.
+                callee = rng.randrange(fi + 1, n_funcs)
+                blocks[bi].terminator = CallTerminator(func_entries[callee])
+            elif (roll < p_fallthrough + p_call + p_indirect
+                    and end - bi > 3):
+                # Switch-style indirect jump: targets strictly forward of
+                # the branch so every path still reaches the function exit
+                # (all-backward targets would trap the walk in a cycle).
+                lo, hi = indirect_targets
+                pool = range(bi + 1, end)
+                n_targets = min(rng.randint(lo, hi), len(pool))
+                n_targets = max(n_targets, 2)
+                targets = rng.sample(pool, k=n_targets)
+                if indirect_selector == "history":
+                    sel = HistorySelector(len(targets), k=2, salt=bi)
+                elif indirect_selector == "roundrobin":
+                    sel = RoundRobinSelector(len(targets))
+                else:
+                    sel = SkewedRandomSelector(len(targets))
+                blocks[bi].terminator = IndirectTerminator(sel, targets)
+            else:
+                behavior = _cond_behavior(rng, cond_mix, max_corr_dist,
+                                          cond_noise)
+                # Short forward skips (like compiled if/else), occasional
+                # backward loop; long forward jumps would shrink the hot
+                # path to a handful of blocks.
+                if isinstance(behavior, LoopBranch) and bi > start:
+                    target = rng.randint(max(start, bi - 4), bi)
+                else:
+                    target = min(bi + rng.randint(1, 3), end - 1)
+                blocks[bi].terminator = CondTerminator(behavior, target)
+    return Program(blocks, name=name)
+
+
+def specint_like(seed: int = 0) -> Program:
+    """SPECint-flavoured: correlated/biased branches, mixed memory."""
+    rng = random.Random(seed)
+    hot = rng.choice((8 * KIB, 16 * KIB, 32 * KIB))
+    stream_region = rng.choice((512 * KIB, 2 * MIB))
+    behaviors: List[Tuple[Kind, MemoryBehavior]] = [
+        (Kind.LOAD, MultiStrideStream(DATA_BASE, [(8, 4), (24, 1)],
+                                      region_bytes=stream_region)),
+        (Kind.LOAD, RandomInRegion(DATA_BASE + 8 * MIB, hot)),
+        (Kind.LOAD, HotColdRegion(DATA_BASE + 16 * MIB, hot, 2 * MIB,
+                                  p_cold=0.02)),
+        (Kind.STORE, MultiStrideStream(DATA_BASE + 24 * MIB, [(8, 1)],
+                                       region_bytes=stream_region // 4)),
+    ]
+    return _structured_program(
+        rng,
+        name=f"specint_like-{seed}",
+        n_funcs=rng.randint(6, 12),
+        blocks_per_func=(16, 48),
+        block_size=(3, 12),
+        cond_mix={
+            "always": 0.12, "never": 0.30, "biased": 0.22, "loop": 0.16,
+            "pattern": 0.08, "correlated": 0.10, "random": 0.02,
+        },
+        mem_behaviors=behaviors,
+        mem_density=0.30,
+        fp_fraction=0.03,
+        ilp="moderate",
+        p_call=0.10,
+        p_indirect=0.02,
+        indirect_targets=(2, 6),
+        max_corr_dist=rng.choice((8, 16, 24)),
+        cond_noise=0.02,
+    )
+
+
+def specfp_like(seed: int = 0) -> Program:
+    """SPECfp-flavoured: streaming FP loops over multi-MB arrays."""
+    rng = random.Random(seed)
+    array_bytes = rng.choice((2 * MIB, 8 * MIB, 16 * MIB))
+    streams: List[Tuple[Kind, MemoryBehavior]] = []
+    for i in range(rng.randint(2, 4)):
+        streams.append(
+            (Kind.LOAD,
+             MultiStrideStream(DATA_BASE + i * array_bytes, [(8, 1)],
+                               region_bytes=array_bytes))
+        )
+    streams.append(
+        (Kind.STORE,
+         MultiStrideStream(DATA_BASE + 8 * array_bytes, [(8, 1)],
+                           region_bytes=array_bytes))
+    )
+    return _structured_program(
+        rng,
+        name=f"specfp_like-{seed}",
+        n_funcs=rng.randint(2, 4),
+        blocks_per_func=(4, 10),
+        block_size=(10, 24),
+        cond_mix={"always": 0.1, "never": 0.1, "loop": 0.7, "biased": 0.1},
+        mem_behaviors=streams,
+        mem_density=0.35,
+        fp_fraction=0.55,
+        ilp="parallel",
+        p_call=0.02,
+    )
+
+
+def web_like(seed: int = 0) -> Program:
+    """Web/JS-flavoured: huge code footprint, megamorphic indirects."""
+    rng = random.Random(seed)
+    hot = rng.choice((16 * KIB, 32 * KIB))
+    behaviors: List[Tuple[Kind, MemoryBehavior]] = [
+        (Kind.LOAD, RandomInRegion(DATA_BASE, hot)),
+        (Kind.LOAD, HotColdRegion(DATA_BASE + 4 * MIB, hot, 1 * MIB,
+                                  p_cold=0.03)),
+        (Kind.STORE, RandomInRegion(DATA_BASE + 8 * MIB, hot // 2)),
+    ]
+    return _structured_program(
+        rng,
+        name=f"web_like-{seed}",
+        n_funcs=rng.randint(72, 120),
+        blocks_per_func=(10, 20),
+        block_size=(2, 8),
+        cond_mix={
+            "always": 0.11, "never": 0.32, "biased": 0.28, "loop": 0.05,
+            "pattern": 0.06, "correlated": 0.13, "random": 0.05,
+        },
+        mem_behaviors=behaviors,
+        mem_density=0.25,
+        fp_fraction=0.02,
+        ilp="moderate",
+        p_call=0.10,
+        p_indirect=0.03,
+        indirect_targets=(8, 48),
+        indirect_selector="history",
+        max_corr_dist=rng.choice((6, 10, 16)),
+        cond_noise=0.02,
+        driver_dispatch=24,
+    )
+
+
+def mobile_like(seed: int = 0) -> Program:
+    """Game/app blend: FP + pointer + stride + indirect dispatch."""
+    rng = random.Random(seed)
+    hot = rng.choice((8 * KIB, 16 * KIB, 48 * KIB))
+    chase = PointerChase(DATA_BASE, n_nodes=hot // 128,
+                         node_bytes=128, seed=seed ^ 0x5A)
+    behaviors: List[Tuple[Kind, MemoryBehavior]] = [
+        (Kind.LOAD, MultiStrideStream(DATA_BASE + 4 * MIB, [(16, 2), (48, 1)],
+                                      region_bytes=1 * MIB)),
+        (Kind.LOAD, chase),
+        (Kind.LOAD, StructFields(chase, [8, 24, 56])),
+        (Kind.STORE, MultiStrideStream(DATA_BASE + 8 * MIB, [(8, 1)],
+                                       region_bytes=256 * KIB)),
+    ]
+    return _structured_program(
+        rng,
+        name=f"mobile_like-{seed}",
+        n_funcs=rng.randint(8, 16),
+        blocks_per_func=(6, 20),
+        block_size=(4, 14),
+        cond_mix={
+            "always": 0.12, "never": 0.28, "biased": 0.26, "loop": 0.18,
+            "pattern": 0.07, "correlated": 0.07, "random": 0.02,
+        },
+        mem_behaviors=behaviors,
+        mem_density=0.28,
+        fp_fraction=0.18,
+        ilp="moderate",
+        p_call=0.10,
+        p_indirect=0.04,
+        indirect_targets=(3, 12),
+        indirect_selector="skewed",
+        max_corr_dist=12,
+    )
+
+
+def pointer_chase(seed: int = 0) -> Program:
+    """Dependent-load linked-structure traversal (low IPC, SMS-friendly)."""
+    rng = random.Random(seed)
+    nodes = rng.choice((1 << 8, 1 << 9))  # 32-64KB at 128B nodes
+    node_bytes = 128
+    chase = PointerChase(DATA_BASE, n_nodes=nodes, node_bytes=node_bytes,
+                         seed=seed ^ 0xC3)
+    fields = StructFields(chase, [8, 24, 48, 80])
+    body_size = rng.randint(6, 10)
+    # The primary load depends on the previous node's pointer load one
+    # iteration back: the serial chain that dominates latency.
+    body: List[TemplateOp] = [
+        TemplateOp(Kind.LOAD, chase, src1_dist=body_size + 1),
+        TemplateOp(Kind.LOAD, fields, src1_dist=1),
+        TemplateOp(Kind.LOAD, fields, src1_dist=2),
+        TemplateOp(Kind.ALU, None, src1_dist=1, src2_dist=2),
+    ]
+    while len(body) < body_size:
+        body.append(TemplateOp(Kind.ALU, None, src1_dist=1))
+    blocks = [
+        BasicBlock(
+            body,
+            CondTerminator(BiasedBranch(0.95), taken_block=0,
+                           depends_on_load=True),
+        ),
+        BasicBlock([TemplateOp(Kind.ALU)], UncondTerminator(0)),
+    ]
+    return Program(blocks, name=f"pointer_chase-{seed}")
+
+
+def stream_like(seed: int = 0) -> Program:
+    """DRAM-resident streaming copy/transform kernels."""
+    rng = random.Random(seed)
+    region = rng.choice((16 * MIB, 32 * MIB, 64 * MIB))
+    stride = rng.choice((8, 8, 16, 64))
+    src = MultiStrideStream(DATA_BASE, [(stride, 1)], region_bytes=region)
+    src2 = MultiStrideStream(DATA_BASE + region, [(stride, 1)],
+                             region_bytes=region)
+    dst = MultiStrideStream(DATA_BASE + 2 * region, [(stride, 1)],
+                            region_bytes=region)
+    body = _make_body(
+        rng, rng.randint(12, 24),
+        [(Kind.LOAD, src, 0), (Kind.LOAD, src2, 0), (Kind.STORE, dst, 1)],
+        fp_fraction=0.3, ilp="parallel",
+    )
+    blocks = [
+        BasicBlock(body, CondTerminator(LoopBranch(256), taken_block=0)),
+        BasicBlock([TemplateOp(Kind.ALU)], UncondTerminator(0)),
+    ]
+    return Program(blocks, name=f"stream_like-{seed}")
+
+
+def hard_random(seed: int = 0) -> Program:
+    """Data-dependent unpredictable branches; the MPKI ceiling cases."""
+    rng = random.Random(seed)
+    footprint = rng.choice((16 * KIB, 48 * KIB))
+    behaviors: List[Tuple[Kind, MemoryBehavior]] = [
+        (Kind.LOAD, RandomInRegion(DATA_BASE, footprint)),
+        (Kind.STORE, RandomInRegion(DATA_BASE + 4 * MIB, footprint)),
+    ]
+    return _structured_program(
+        rng,
+        name=f"hard_random-{seed}",
+        n_funcs=rng.randint(8, 14),
+        blocks_per_func=(24, 48),
+        block_size=(3, 8),
+        cond_mix={"random": 0.55, "biased": 0.15, "correlated": 0.30},
+        mem_behaviors=behaviors,
+        mem_density=0.20,
+        fp_fraction=0.02,
+        ilp="moderate",
+        p_call=0.05,
+        max_corr_dist=6,
+        cond_noise=0.08,
+    )
+
+
+def dense_branch(seed: int = 0) -> Program:
+    """1-2 instruction blocks so that >8 branches land in one 128B line,
+    forcing vBTB spill (Figure 2)."""
+    rng = random.Random(seed)
+    n_blocks = rng.randint(48, 96)
+    blocks: List[BasicBlock] = []
+    for i in range(n_blocks - 1):
+        body = [TemplateOp(Kind.ALU, None, src1_dist=_dep_dist(rng, "moderate"))]
+        behavior = _cond_behavior(
+            rng,
+            {"always": 0.25, "never": 0.35, "biased": 0.25, "correlated": 0.15},
+            max_corr_dist=10,
+        )
+        target = rng.randint(i + 1, n_blocks - 1)
+        blocks.append(BasicBlock(body, CondTerminator(behavior, target)))
+    blocks.append(BasicBlock([TemplateOp(Kind.ALU)], UncondTerminator(0)))
+    return Program(blocks, name=f"dense_branch-{seed}")
+
+
+def btb_stress(seed: int = 0) -> Program:
+    """Thousands of static, individually easy branches cycled quickly.
+
+    The lever behind the paper's capacity-driven MPKI gains: a hot branch
+    working set sized *between* M1's and M6's mBTB+L2BTB reach, so early
+    generations thrash on (re)discovery and L2BTB refills while later ones
+    hold the whole set.  Each branch is individually trivial (biased or
+    always/never-taken); every mispredict on this family is a capacity
+    artefact, not a direction-prediction failure.
+    """
+    rng = random.Random(seed)
+    n_blocks = rng.randint(2600, 4200)
+    blocks: List[BasicBlock] = []
+    for i in range(n_blocks - 1):
+        body = [TemplateOp(Kind.ALU, None, src1_dist=_dep_dist(rng, "moderate"))
+                for _ in range(rng.randint(1, 3))]
+        roll = rng.random()
+        if roll < 0.35:
+            behavior: BranchBehavior = AlwaysTaken()
+        elif roll < 0.60:
+            behavior = NeverTaken()
+        else:
+            behavior = BiasedBranch(rng.choice((0.02, 0.05, 0.95, 0.98)))
+        target = min(i + rng.randint(1, 2), n_blocks - 1)
+        blocks.append(BasicBlock(body, CondTerminator(behavior, target)))
+    blocks.append(BasicBlock([TemplateOp(Kind.ALU)], UncondTerminator(0)))
+    return Program(blocks, name=f"btb_stress-{seed}")
+
+
+def cbp5_like(seed: int = 0, max_trip: int = 350) -> Program:
+    """Conditional-branch-heavy programs for the Figure 1 GHIST sweep.
+
+    The long-history benefit that Figure 1 measures comes from branches
+    whose predictability requires seeing far back into the outcome stream.
+    The canonical real-code source of that requirement is a loop branch
+    with a long trip count ``T``: while iterating, the global history is a
+    run of TAKEN bits, so the exit is predictable only when the hashed
+    GHIST range can distinguish "iteration T-1" from earlier iterations —
+    i.e. when the range covers roughly ``T`` bits.  We therefore build a
+    chain of loop regions whose trip counts are log-uniform over
+    ``[4, max_trip]``; growing the GHIST range progressively converts each
+    loop's exit mispredicts into hits, with naturally diminishing returns
+    (a trip-``T`` loop only mispredicts once per ``T`` iterations to begin
+    with).  Short-range correlated, pattern, biased and a pinch of random
+    branches fill out the population.
+    """
+    import math
+
+    rng = random.Random(seed)
+    blocks: List[BasicBlock] = []
+    n_regions = rng.randint(3, 6)
+    region_entries: List[int] = []
+    for _ in range(n_regions):
+        region_entries.append(len(blocks))
+        # A few decoration branches before the loop.
+        for _ in range(rng.randint(0, 2)):
+            body = [TemplateOp(Kind.ALU, None, src1_dist=1)]
+            roll = rng.random()
+            if roll < 0.35:
+                behavior: BranchBehavior = GlobalCorrelated(
+                    [rng.randint(1, 12)], noise=0.005,
+                    invert=rng.random() < 0.5)
+            elif roll < 0.6:
+                behavior = BiasedBranch(rng.choice((0.02, 0.05, 0.95, 0.98)))
+            elif roll < 0.85:
+                pattern = "".join(rng.choice("TN")
+                                  for _ in range(rng.randint(2, 5)))
+                behavior = PatternBranch(pattern if "T" in pattern else "T")
+            else:
+                behavior = RandomBranch(rng.uniform(0.3, 0.7))
+            # Skip at most one block forward (resolved in the layout below
+            # by targeting the next-next block).
+            taken_target = len(blocks) + 1
+            blocks.append(
+                BasicBlock(body, CondTerminator(behavior, taken_target))
+            )
+        # The loop region: trip count log-uniform over [4, max_trip].
+        trip = max(4, int(round(math.exp(
+            rng.uniform(math.log(4), math.log(max_trip))))))
+        loop_index = len(blocks)
+        body = [TemplateOp(Kind.ALU, None, src1_dist=1)]
+        blocks.append(
+            BasicBlock(body, CondTerminator(LoopBranch(trip), loop_index))
+        )
+    # Close the outer cycle.
+    blocks.append(BasicBlock([TemplateOp(Kind.ALU)], UncondTerminator(0)))
+    return Program(blocks, name=f"cbp5_like-{seed}")
+
+
+#: Registry of all families.
+FAMILIES: Dict[str, FamilyBuilder] = {
+    "loop_kernel": loop_kernel,
+    "specint_like": specint_like,
+    "specfp_like": specfp_like,
+    "web_like": web_like,
+    "mobile_like": mobile_like,
+    "pointer_chase": pointer_chase,
+    "stream_like": stream_like,
+    "hard_random": hard_random,
+    "dense_branch": dense_branch,
+    "btb_stress": btb_stress,
+    "cbp5_like": cbp5_like,
+}
+
+#: Family weights for the standard population, roughly mirroring the
+#: paper's suite mix (CPU suites + web suites + mobile suites + games).
+SUITE_WEIGHTS: Dict[str, int] = {
+    "loop_kernel": 6,
+    "specint_like": 5,
+    "specfp_like": 4,
+    "web_like": 4,
+    "mobile_like": 4,
+    "pointer_chase": 2,
+    "stream_like": 2,
+    "hard_random": 1,
+    "dense_branch": 1,
+    "btb_stress": 2,
+}
+
+
+def make_trace(family: str, seed: int = 0,
+               n_instructions: int = 20_000) -> Trace:
+    """Build one trace slice from a named family."""
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; known: {sorted(FAMILIES)}"
+        ) from None
+    program = builder(seed)
+    return generate_trace(program, n_instructions, seed=seed,
+                          name=f"{family}-{seed}", family=family)
+
+
+def standard_suite(n_slices: int = 64, slice_length: int = 20_000,
+                   seed: int = 2020) -> List[Trace]:
+    """The cross-generation evaluation population.
+
+    A weighted, seeded mix over all families; the paper's population is
+    4,026 slices of 100M instructions — ours is ``n_slices`` slices of
+    ``slice_length`` micro-ops, which preserves the population *shape*
+    (Figures 9/16/17) at laptop scale.
+    """
+    expanded: List[str] = []
+    for family, weight in SUITE_WEIGHTS.items():
+        expanded.extend([family] * weight)
+    rng = random.Random(seed)
+    traces: List[Trace] = []
+    for i in range(n_slices):
+        family = expanded[i % len(expanded)]
+        slice_seed = rng.randrange(1 << 30)
+        traces.append(make_trace(family, seed=slice_seed,
+                                 n_instructions=slice_length))
+    return traces
+
+
+def cbp5_suite(n_traces: int = 12, trace_length: int = 30_000,
+               seed: int = 5) -> List[Trace]:
+    """The Figure 1 population: conditional-branch-correlation traces."""
+    rng = random.Random(seed)
+    traces = []
+    for i in range(n_traces):
+        s = rng.randrange(1 << 30)
+        program = cbp5_like(s)
+        traces.append(
+            generate_trace(program, trace_length, seed=s,
+                           name=f"cbp5-{i}", family="cbp5_like")
+        )
+    return traces

@@ -1,0 +1,4 @@
+"""Micro-operation cache (paper Section VI)."""
+
+from .modes import UocController, UocMode, UocModeStats  # noqa: F401
+from .uoc import UopCache  # noqa: F401

@@ -1,0 +1,167 @@
+"""UOC front-end mode state machine (Section VI, Figure 13).
+
+The front end operates in one of three modes:
+
+- **FilterMode**: the uBTB predictor checks that the current code segment
+  is highly predictable and fits the uBTB and UOC before any building
+  happens (avoids unprofitable BuildMode in power and performance).
+- **BuildMode**: the UOC allocates basic blocks.  Each uBTB branch entry
+  gains a "built" bit tracking whether its target's block is already in
+  the UOC (back-propagated from UOC tag checks, avoiding a prediction-time
+  tag check at the cost of a squashable extra build request).  A
+  #BuildTimer increments per prediction lookup; #BuildEdge counts clear
+  built bits, #FetchEdge counts set ones.  When #FetchEdge/#BuildEdge
+  reaches a threshold before the timer expires, the front end shifts to
+  FetchMode.
+- **FetchMode**: the instruction cache and decoders are disabled; uops
+  come solely from the UOC (and the mBTB is also gated while the uBTB
+  stays accurate).  The built bits are still watched: too many clear bits
+  flips the front end back to FilterMode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..power import EnergyLedger
+from .uoc import UopCache
+
+
+class UocMode(enum.Enum):
+    FILTER = "filter"
+    BUILD = "build"
+    FETCH = "fetch"
+
+
+@dataclass
+class UocModeStats:
+    filter_cycles: int = 0
+    build_cycles: int = 0
+    fetch_cycles: int = 0
+    to_build: int = 0
+    to_fetch: int = 0
+    back_to_filter: int = 0
+
+
+class UocController:
+    """The Figure 13 flowchart over block-granular fetch events."""
+
+    #: FetchMode entry: #FetchEdge >= FETCH_RATIO x #BuildEdge.
+    FETCH_RATIO = 4
+    #: Fall back to FilterMode when builds overtake fetches by this ratio.
+    FILTER_RATIO = 2
+    #: BuildMode attempt budget before giving up (the #BuildTimer).
+    BUILD_TIMER_LIMIT = 256
+    #: Consecutive predictable blocks FilterMode requires (uBTB-confirmed
+    #: predictability and size check).
+    FILTER_STREAK = 16
+
+    def __init__(self, uoc: UopCache,
+                 ledger: Optional[EnergyLedger] = None) -> None:
+        self.uoc = uoc
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.mode = UocMode.FILTER
+        self.stats = UocModeStats()
+        #: uBTB-entry "built" bits, keyed by block start PC.
+        self._built_bits: Dict[int, bool] = {}
+        self._filter_streak = 0
+        self._build_timer = 0
+        self._build_edges = 0
+        self._fetch_edges = 0
+
+    # -- main per-block event -----------------------------------------------------
+
+    def on_block(self, block_pc: int, n_uops: int,
+                 ubtb_predictable: bool) -> UocMode:
+        """Process one fetched basic block; returns the mode that supplied
+        it (and records the matching fetch/decode/UOC energy)."""
+        mode = self.mode
+        if mode is UocMode.FILTER:
+            self.stats.filter_cycles += 1
+            self._charge_legacy()
+            if ubtb_predictable and n_uops <= self.uoc.capacity_uops:
+                self._filter_streak += 1
+                if self._filter_streak >= self.FILTER_STREAK:
+                    self._enter_build()
+            else:
+                self._filter_streak = 0
+            return mode
+        if mode is UocMode.BUILD:
+            self.stats.build_cycles += 1
+            self._charge_legacy()
+            self._step_edges(block_pc, n_uops, building=True)
+            self._build_timer += 1
+            ratio_met = (self._fetch_edges
+                         >= self.FETCH_RATIO * max(1, self._build_edges))
+            if ratio_met and self._fetch_edges >= 8:
+                self._enter_fetch()
+            elif self._build_timer > self.BUILD_TIMER_LIMIT:
+                self._enter_filter()
+            return mode
+        # FetchMode.
+        self.stats.fetch_cycles += 1
+        if self.uoc.contains(block_pc):
+            self.ledger.record("uoc_fetch")
+        else:
+            # Supply hole: this block still needs the legacy path.
+            self._charge_legacy()
+        # Window the edge counters so a long healthy FetchMode run cannot
+        # mask a sudden phase change (fresh code must be able to flip the
+        # ratio within a bounded number of blocks).
+        if self._build_edges + self._fetch_edges > 128:
+            self._build_edges //= 2
+            self._fetch_edges //= 2
+        self._step_edges(block_pc, n_uops, building=False)
+        if (self._build_edges
+                >= self.FILTER_RATIO * max(1, self._fetch_edges)
+                and self._build_edges >= 8):
+            self.stats.back_to_filter += 1
+            self._enter_filter()
+        if not ubtb_predictable:
+            # A mispredict ends the locked kernel; FetchMode cannot hold.
+            self._enter_filter()
+        return mode
+
+    # -- internals ---------------------------------------------------------------
+
+    def _charge_legacy(self) -> None:
+        self.ledger.record("icache_fetch")
+        self.ledger.record("decode")
+
+    def _step_edges(self, block_pc: int, n_uops: int,
+                    building: bool) -> None:
+        built = self._built_bits.get(block_pc, False)
+        if built:
+            self._fetch_edges += 1
+        else:
+            self._build_edges += 1
+            if building:
+                # Mark for allocation; the UOC tag check back-propagates
+                # the built bit (or squashes a duplicate build).
+                self.ledger.record("uoc_build")
+                self.uoc.build(block_pc, n_uops)
+                self._built_bits[block_pc] = True
+            elif self.uoc.contains(block_pc):
+                self._built_bits[block_pc] = True
+
+    def _enter_build(self) -> None:
+        self.mode = UocMode.BUILD
+        self.stats.to_build += 1
+        self._build_timer = 0
+        self._build_edges = 0
+        self._fetch_edges = 0
+
+    def _enter_fetch(self) -> None:
+        self.mode = UocMode.FETCH
+        self.stats.to_fetch += 1
+        self._build_edges = 0
+        self._fetch_edges = 0
+
+    def _enter_filter(self) -> None:
+        self.mode = UocMode.FILTER
+        self._filter_streak = 0
+        self._build_timer = 0
+        self._build_edges = 0
+        self._fetch_edges = 0

@@ -1,0 +1,90 @@
+"""The M5 zero-bubble arbiter: uBTB vs ZAT/ZOT (Section IV-E)."""
+
+from repro.config import get_generation
+from repro.frontend import BranchUnit
+from repro.traces import Kind, Trace, TraceRecord, make_trace
+
+
+def _stable_kernel(n=8000):
+    """A fully predictable taken ring: the lock never breaks."""
+    recs = []
+    bases = [0x1000 + i * 0x100 for i in range(4)]
+    while len(recs) < n:
+        for bi, base in enumerate(bases):
+            recs.append(TraceRecord(pc=base, kind=Kind.ALU))
+            recs.append(TraceRecord(pc=base + 4, kind=Kind.BR_UNCOND,
+                                    taken=True,
+                                    target=bases[(bi + 1) % 4]))
+    return Trace("ring", "micro", recs)
+
+
+def _churny_kernel(n=8000):
+    """A kernel whose hard branch keeps breaking the lock: short episodes."""
+    import random
+    rng = random.Random(5)
+    recs = []
+    bases = [0x1000 + i * 0x100 for i in range(4)]
+    for i in range(n // 6):
+        for bi, base in enumerate(bases):
+            recs.append(TraceRecord(pc=base, kind=Kind.ALU))
+            nxt = bases[(bi + 1) % 4]
+            if bi == 3:
+                # Unpredictable branch inside the kernel.
+                taken = rng.random() < 0.5
+                recs.append(TraceRecord(pc=base + 4, kind=Kind.BR_COND,
+                                        taken=taken, target=bases[0]))
+                if not taken:
+                    recs.append(TraceRecord(pc=base + 8, kind=Kind.BR_UNCOND,
+                                            taken=True, target=bases[0]))
+            else:
+                recs.append(TraceRecord(pc=base + 4, kind=Kind.BR_UNCOND,
+                                        taken=True, target=nxt))
+    return Trace("churny", "micro", recs)
+
+
+def test_arbiter_lets_ubtb_drive_stable_kernels():
+    unit = BranchUnit(get_generation("M5"))
+    unit.run_trace(_stable_kernel())
+    assert unit.ubtb.locked_predictions > 100
+    # The lock never breaks, so the arbiter has no reason to intervene.
+    assert unit.arbiter_suppressions == 0
+
+
+def test_arbiter_suppresses_ubtb_on_churny_kernels():
+    unit = BranchUnit(get_generation("M5"))
+    unit.run_trace(_churny_kernel())
+    assert unit.arbiter_suppressions > 0
+    assert unit.ubtb.mean_episode_length() < BranchUnit.ARBITER_MIN_EPISODE
+
+
+def test_pre_zatzot_generations_never_suppress():
+    """M1-M4 have no alternative zero-bubble engine: the arbiter does not
+    exist there."""
+    for gen in ("M1", "M3", "M4"):
+        unit = BranchUnit(get_generation(gen))
+        unit.run_trace(_churny_kernel())
+        assert unit.arbiter_suppressions == 0
+
+
+def test_episode_lengths_tracked():
+    unit = BranchUnit(get_generation("M3"))
+    unit.run_trace(_churny_kernel())
+    assert unit.ubtb.unlock_events > 0
+    assert len(unit.ubtb.episode_lengths) > 0
+    assert all(e >= 0 for e in unit.ubtb.episode_lengths)
+
+
+def test_arbiter_does_not_hurt_churny_performance():
+    """Suppression must not cost bubbles vs forcing the uBTB: ZAT/ZOT
+    covers the always-taken chain without the 2-cycle startup churn."""
+    trace = _churny_kernel()
+    m5 = BranchUnit(get_generation("M5"))
+    s5 = m5.run_trace(trace)
+
+    class ForcedUbtb(BranchUnit):
+        def _arbiter_prefers_ubtb(self):
+            return True
+
+    forced = ForcedUbtb(get_generation("M5"))
+    sf = forced.run_trace(trace)
+    assert s5.total_bubbles <= sf.total_bubbles * 1.15

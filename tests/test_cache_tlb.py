@@ -1,0 +1,157 @@
+"""Set-associative cache (incl. sectoring) and TLB hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import get_generation
+from repro.memory.cache import SetAssocCache
+from repro.memory.tlb import PAGE_WALK_LATENCY, Tlb, TranslationHierarchy
+from repro.config import TlbConfig
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+def test_cache_miss_then_hit():
+    c = SetAssocCache(4096, 4)
+    assert c.probe(0x100) is None
+    c.fill(0x100)
+    assert c.probe(0x100) is not None
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_cache_same_line_offsets_hit():
+    c = SetAssocCache(4096, 4)
+    c.fill(0x1000)
+    assert c.probe(0x103F) is not None  # same 64B line
+    assert c.probe(0x1040) is None      # next line
+
+
+def test_cache_lru_eviction():
+    c = SetAssocCache(4 * 64, 4)  # one set of four ways
+    for i in range(4):
+        c.fill(i * 64)
+    c.probe(0)           # touch line 0 (now MRU)
+    victim = c.fill(4 * 64)
+    assert victim is not None
+    assert victim.address == 64  # LRU was line 1
+    assert c.probe(0) is not None
+
+
+def test_sectored_cache_buddy_slot_invalid():
+    """Section VIII-B: a 128B sector tag with only one 64B line valid —
+    the buddy slot is a miss until buddy-prefetched."""
+    c = SetAssocCache(8192, 4, sector_bytes=128)
+    c.fill(0x1000)
+    assert c.probe(0x1000) is not None
+    assert c.probe(0x1040) is None  # buddy subline invalid
+    c.fill(0x1040, prefetched=True)
+    assert c.probe(0x1040) is not None
+    # Both sublines share one tag entry.
+    assert c.resident_count == 1
+
+
+def test_sector_evicted_as_unit():
+    c = SetAssocCache(2 * 128, 2, sector_bytes=128)  # one set, 2 ways
+    c.fill(0x0)
+    c.fill(0x40)
+    c.fill(0x80)
+    victim = c.fill(0x100)
+    assert victim is not None and victim.address == 0x0
+    assert victim.valid_mask == 0b11
+
+
+def test_insert_lru_position():
+    c = SetAssocCache(4 * 64, 4)
+    for i in range(4):
+        c.fill(i * 64)
+    c.fill(4 * 64, insert_lru=True)  # "ordinary" insertion
+    # Inserting one more evicts the ordinary-state line first.
+    c.fill(5 * 64)
+    assert c.probe(4 * 64, update_lru=False, count=False) is None
+
+
+def test_invalidate():
+    c = SetAssocCache(4096, 4)
+    c.fill(0x200)
+    assert c.invalidate(0x200) is not None
+    assert c.probe(0x200) is None
+    assert c.invalidate(0x200) is None
+
+
+def test_dirty_and_metadata_bits():
+    c = SetAssocCache(4096, 4)
+    c.fill(0x300, dirty=True, prefetched=True)
+    line = c.probe(0x300)
+    assert line.dirty and line.prefetched
+    assert line.hit_count == 1
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        SetAssocCache(0, 4)
+    with pytest.raises(ValueError):
+        SetAssocCache(4096, 4, line_bytes=64, sector_bytes=96)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                max_size=200))
+def test_cache_capacity_invariant(addresses):
+    c = SetAssocCache(2048, 4, sector_bytes=128)
+    for a in addresses:
+        if c.probe(a) is None:
+            c.fill(a)
+    assert c.resident_count <= c.num_entries
+    # Every resident sector base is sector-aligned.
+    for line in c.iter_lines():
+        assert line.address % c.sector_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# TLB
+# ---------------------------------------------------------------------------
+
+def test_tlb_miss_then_hit():
+    t = Tlb(TlbConfig(entries=16, ways=4))
+    assert not t.probe(0x1000)
+    t.fill(0x1000)
+    assert t.probe(0x1FFF)  # same 4KB page
+    assert not t.probe(0x2000)
+
+
+def test_sectored_tlb_covers_multiple_pages():
+    t = Tlb(TlbConfig(entries=16, ways=4, sectors=4))
+    t.fill(0x0000)
+    assert t.probe(0x3FFF)  # fourth page of the sector
+    assert not t.probe(0x4000)
+
+
+def test_translation_hierarchy_levels_and_latency():
+    h = TranslationHierarchy(get_generation("M3"))
+    r = h.translate(0x10_0000)
+    assert r.level == "walk" and r.latency == PAGE_WALK_LATENCY
+    r2 = h.translate(0x10_0000)
+    assert r2.level == "l1" and r2.latency == 0.0
+
+
+def test_l15_tlb_catches_l1_capacity_spill():
+    h = TranslationHierarchy(get_generation("M3"))
+    # Fill beyond L1 capacity (32 pages on M3) but within L1.5 (512).
+    for i in range(64):
+        h.translate(i * 4096)
+    r = h.translate(0)
+    assert r.level in ("l1", "l1.5")  # not a walk
+
+
+def test_m1_has_no_l15():
+    h = TranslationHierarchy(get_generation("M1"))
+    assert h.l15 is None
+
+
+def test_prefetch_fill_avoids_future_walk():
+    h = TranslationHierarchy(get_generation("M3"))
+    h.prefetch_fill(0x80_0000)
+    r = h.translate(0x80_0000)
+    assert r.level != "walk"

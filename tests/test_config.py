@@ -1,0 +1,156 @@
+"""Generation configuration invariants (paper Table I / Table III)."""
+
+import pytest
+
+from repro.config import (
+    GENERATION_ORDER,
+    all_generations,
+    get_generation,
+    M1, M2, M3, M4, M5, M6,
+)
+
+
+def test_generation_order_and_lookup():
+    assert GENERATION_ORDER == ("M1", "M2", "M3", "M4", "M5", "M6")
+    for name in GENERATION_ORDER:
+        assert get_generation(name).name == name
+    assert get_generation("m4").name == "M4"  # case-insensitive
+
+
+def test_unknown_generation_raises():
+    with pytest.raises(ValueError):
+        get_generation("M7")
+
+
+def test_all_generations_chronological():
+    gens = all_generations()
+    assert [g.year_index for g in gens] == [1, 2, 3, 4, 5, 6]
+
+
+def test_table1_widths():
+    assert M1.width == 4 and M2.width == 4
+    assert M3.width == 6 and M4.width == 6 and M5.width == 6
+    assert M6.width == 8
+
+
+def test_table1_rob_sizes():
+    assert (M1.rob_size, M2.rob_size) == (96, 100)
+    assert M3.rob_size == M4.rob_size == M5.rob_size == 228
+    assert M6.rob_size == 256
+
+
+def test_table1_l1_caches():
+    assert M1.l1d.size_kib == 32 and M1.l1d.ways == 8
+    assert M3.l1d.size_kib == 64 and M3.l1d.ways == 8
+    assert M4.l1d.size_kib == 64 and M4.l1d.ways == 4
+    assert M6.l1d.size_kib == 128 and M6.l1d.ways == 8
+    assert M6.l1i.size_kib == 128
+
+
+def test_table3_l2_l3_sizes():
+    assert M1.l2.size_kib == 2048 and M1.l3 is None
+    assert M3.l2.size_kib == 512 and M3.l3.size_kib == 4096
+    assert M4.l2.size_kib == 1024 and M4.l3.size_kib == 3072
+    assert M5.l2.size_kib == 2048 and M5.l3.size_kib == 3072
+    assert M6.l2.size_kib == 2048 and M6.l3.size_kib == 4096
+
+
+def test_l2_sharing_evolution():
+    assert M1.l2_shared_by == 4 and M2.l2_shared_by == 4
+    assert M3.l2_shared_by == 1 and M4.l2_shared_by == 1  # private
+    assert M5.l2_shared_by == 2 and M6.l2_shared_by == 2
+
+
+def test_mispredict_penalties():
+    assert M1.mispredict_penalty == 14
+    assert M3.mispredict_penalty == 16
+    assert M6.mispredict_penalty == 16
+
+
+def test_fp_latency_improvement():
+    assert M1.fp_latencies == (5, 4, 3)
+    assert M3.fp_latencies == (4, 3, 2)
+
+
+def test_shp_growth():
+    assert (M1.branch.shp_tables, M1.branch.shp_rows) == (8, 1024)
+    assert M3.branch.shp_rows == 2048  # rows doubled
+    assert (M5.branch.shp_tables, M5.branch.shp_rows) == (16, 2048)
+    # GHIST grew ~25% on M5.
+    assert M5.branch.ghist_bits > M1.branch.ghist_bits
+    assert abs(M5.branch.ghist_bits / M1.branch.ghist_bits - 1.25) < 0.01
+
+
+def test_l2btb_capacity_doublings():
+    assert M3.branch.l2btb_entries == 2 * M1.branch.l2btb_entries
+    assert M4.branch.l2btb_entries == 4 * M1.branch.l2btb_entries
+    # M4 fill improved: lower latency, double bandwidth.
+    assert M4.branch.l2btb_fill_latency < M3.branch.l2btb_fill_latency
+    assert (M4.branch.l2btb_fill_bandwidth
+            == 2 * M3.branch.l2btb_fill_bandwidth)
+
+
+def test_m6_front_end_features():
+    assert M6.branch.mbtb_entries == int(M5.branch.mbtb_entries * 1.5)
+    assert M6.branch.indirect_hash_entries > 0
+    assert M5.branch.indirect_hash_entries == 0
+
+
+def test_feature_flags_per_generation():
+    assert not M1.branch.has_1at and M3.branch.has_1at
+    assert not M4.branch.has_zat_zot and M5.branch.has_zat_zot
+    assert M5.branch.has_empty_line_opt and M5.branch.mrb_entries > 0
+    assert M1.branch.mrb_entries == 0
+
+
+def test_prefetch_features_per_generation():
+    assert not M1.prefetch.has_sms and M3.prefetch.has_sms
+    assert not M3.prefetch.has_buddy and M4.prefetch.has_buddy
+    assert not M4.prefetch.has_standalone and M5.prefetch.has_standalone
+    assert not M1.prefetch.integrated_confirmation
+    assert M3.prefetch.integrated_confirmation
+
+
+def test_memory_latency_features():
+    assert not M3.memlat.has_data_fast_path and M4.memlat.has_data_fast_path
+    assert not M4.memlat.has_speculative_read
+    assert M5.memlat.has_speculative_read
+    assert M5.memlat.has_early_page_activate
+
+
+def test_outstanding_misses_growth():
+    assert M1.l1d_outstanding_misses == 8
+    assert M3.l1d_outstanding_misses == 12
+    assert M4.l1d_outstanding_misses == 32 and M4.uses_mab
+    assert M6.l1d_outstanding_misses == 40
+    assert not M1.uses_mab
+
+
+def test_uoc_presence():
+    assert M4.uoc_uops == 0
+    assert M5.uoc_uops == 384
+    assert M6.uoc_uops == 384
+
+
+def test_load_load_cascading_and_zero_cycle_moves():
+    assert not M1.has_load_load_cascading and M4.has_load_load_cascading
+    assert M4.l1_cascade_latency == 3.0
+    assert not M1.has_zero_cycle_moves and M3.has_zero_cycle_moves
+
+
+def test_tlb_hierarchy():
+    assert M1.l15d_tlb is None and M3.l15d_tlb is not None
+    assert M6.l1d_tlb.total_pages == 128
+    assert M6.l2_tlb.entries * M6.l2_tlb.sectors == 8192
+
+
+def test_cache_config_geometry():
+    c = M1.l2
+    assert c.size_bytes == 2048 * 1024
+    assert c.num_lines == c.size_bytes // 64
+    assert c.num_sets * c.ways == c.num_lines
+
+
+def test_describe_mentions_key_resources():
+    d = M5.describe()
+    assert "M5" in d and "ROB 228" in d and "16x2048" in d

@@ -1,0 +1,28 @@
+"""CSV export and extra harness coverage."""
+
+from repro.harness import run_population
+from repro.harness.population import to_csv
+
+
+def test_csv_export_shape():
+    pop = run_population(n_slices=3, slice_length=1500, seed=31,
+                         generations=("M1", "M5"))
+    csv = to_csv(pop)
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("trace,family,generation")
+    assert len(lines) == 1 + 3 * 2  # header + slices x generations
+    for line in lines[1:]:
+        cells = line.split(",")
+        assert len(cells) == 7
+        float(cells[3])  # ipc parses
+        assert cells[2] in ("M1", "M5")
+
+
+def test_csv_roundtrips_metric_values():
+    pop = run_population(n_slices=2, slice_length=1500, seed=32,
+                         generations=("M3",))
+    csv = to_csv(pop)
+    rows = [l.split(",") for l in csv.strip().splitlines()[1:]]
+    for row, m in zip(rows, pop.for_generation("M3")):
+        assert abs(float(row[3]) - m.ipc) < 1e-3
+        assert abs(float(row[5]) - m.average_load_latency) < 1e-3

@@ -1,0 +1,119 @@
+"""Interval CPI model and shared-L2 contention."""
+
+from repro.config import all_generations, get_generation
+from repro.core import (
+    GenerationSimulator,
+    estimate_from_simulation,
+    interval_model,
+)
+from repro.memory import MemoryHierarchy
+from repro.traces import make_trace
+
+
+# ---------------------------------------------------------------------------
+# Interval model
+# ---------------------------------------------------------------------------
+
+def test_interval_breakdown_sums():
+    t = make_trace("specint_like", seed=3, n_instructions=8000)
+    r = GenerationSimulator(get_generation("M3")).run(t)
+    est = estimate_from_simulation(r)
+    assert est.instructions == 8000
+    parts = (est.base_cycles + est.mispredict_cycles + est.bubble_cycles
+             + est.memory_cycles)
+    assert abs(parts - est.total_cycles) < 1e-9
+    stack = est.cpi_stack
+    assert abs(sum(stack.values()) - 1.0) < 1e-9
+
+
+def test_interval_estimate_within_factor_of_scoreboard():
+    """The analytic model is a screening tool: within ~2x of the detailed
+    model on typical slices."""
+    for fam in ("specint_like", "web_like", "loop_kernel"):
+        t = make_trace(fam, seed=7, n_instructions=8000)
+        r = GenerationSimulator(get_generation("M4")).run(t)
+        est = estimate_from_simulation(r)
+        ratio = est.ipc / r.ipc
+        assert 0.4 < ratio < 2.5, (fam, ratio)
+
+
+def test_interval_preserves_generation_ordering():
+    """The two models must broadly agree on who wins across generations:
+    same extremes, and pairwise orderings mostly concordant."""
+    import itertools
+
+    t = make_trace("mobile_like", seed=5, n_instructions=10_000)
+    detailed, analytic = {}, {}
+    for g in ("M1", "M3", "M5", "M6"):
+        r = GenerationSimulator(get_generation(g)).run(t)
+        detailed[g] = r.ipc
+        analytic[g] = estimate_from_simulation(r).ipc
+    assert min(detailed, key=detailed.get) == min(analytic, key=analytic.get)
+    assert max(detailed, key=detailed.get) == max(analytic, key=analytic.get)
+    pairs = list(itertools.combinations(detailed, 2))
+    concordant = sum(
+        (detailed[a] < detailed[b]) == (analytic[a] < analytic[b])
+        for a, b in pairs
+    )
+    assert concordant >= len(pairs) - 1
+
+
+def test_interval_memory_term_dominates_on_pointer_chase():
+    t = make_trace("pointer_chase", seed=2, n_instructions=8000)
+    r = GenerationSimulator(get_generation("M1")).run(t)
+    est = estimate_from_simulation(r)
+    stack = est.cpi_stack
+    assert stack["memory"] > stack["mispredict"]
+    assert stack["memory"] > 0.3
+
+
+def test_interval_mispredict_term_dominates_on_hard_random():
+    t = make_trace("hard_random", seed=2, n_instructions=8000)
+    r = GenerationSimulator(get_generation("M5")).run(t)
+    est = estimate_from_simulation(r)
+    stack = est.cpi_stack
+    assert stack["mispredict"] > 0.15
+
+
+# ---------------------------------------------------------------------------
+# Shared-L2 contention (Table I: shared-by-4 -> private -> shared-by-2)
+# ---------------------------------------------------------------------------
+
+def test_corunners_shrink_shared_l2():
+    solo = MemoryHierarchy(get_generation("M1"))
+    busy = MemoryHierarchy(get_generation("M1"), corunners=3)
+    assert busy.l2.num_entries < solo.l2.num_entries
+    assert busy._l2_latency_extra > 0
+
+
+def test_private_l2_immune_to_corunners():
+    solo = MemoryHierarchy(get_generation("M3"))
+    busy = MemoryHierarchy(get_generation("M3"), corunners=3)
+    assert busy.l2.num_entries == solo.l2.num_entries
+    assert busy._l2_latency_extra == 0
+
+
+def test_corunners_capped_by_sharing_degree():
+    m5 = MemoryHierarchy(get_generation("M5"), corunners=7)  # shared by 2
+    assert m5._l2_latency_extra == MemoryHierarchy.L2_CONTENTION_LATENCY
+
+
+def test_contention_slows_l2_hits():
+    def l2_hit_latency(corunners):
+        m = MemoryHierarchy(get_generation("M1"), corunners=corunners)
+        m.access(0x0, 0x9000, now=0.0)
+        m.l1.invalidate(0x9000)
+        return m.access(0x0, 0x9000, now=100.0)
+
+    assert l2_hit_latency(3) > l2_hit_latency(0)
+
+
+def test_m3_private_l2_wins_under_contention():
+    """The paper's M3 change (shared 2MB -> private 512KB + L3): under
+    heavy cluster load, M3's private L2 beats M1's contended share on an
+    L2-sensitive workload."""
+    t = make_trace("specint_like", seed=21, n_instructions=10_000)
+    m1_busy = GenerationSimulator(get_generation("M1"), corunners=3).run(t)
+    m3_busy = GenerationSimulator(get_generation("M3"), corunners=3).run(t)
+    assert m3_busy.average_load_latency < m1_busy.average_load_latency * 1.35
+    assert m3_busy.ipc > m1_busy.ipc

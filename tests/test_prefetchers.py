@@ -1,0 +1,360 @@
+"""Prefetch engines: reorder/dedup, stride, confirmation, degree,
+one/two-pass, SMS, Buddy and the standalone adaptive engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch import (
+    AddressReorderBuffer,
+    BuddyPrefetcher,
+    ConfirmationQueue,
+    DynamicDegree,
+    IntegratedConfirmationQueue,
+    MultiStridePrefetcher,
+    SmsPrefetcher,
+    StandalonePrefetcher,
+    TwoPassController,
+)
+
+
+# ---------------------------------------------------------------------------
+# Re-order buffer + dedup filter
+# ---------------------------------------------------------------------------
+
+def test_reorder_in_order_release():
+    rob = AddressReorderBuffer(capacity=8)
+    out = []
+    for seq, addr in ((1, 0x140), (0, 0x100), (2, 0x180)):
+        out.extend(rob.insert(addr, seq=seq))
+    assert out == [0x100, 0x140, 0x180]
+
+
+def test_reorder_dedup_same_line():
+    rob = AddressReorderBuffer(capacity=8)
+    out = []
+    out.extend(rob.insert(0x100, seq=0))
+    out.extend(rob.insert(0x104, seq=1))  # same 64B line -> filtered
+    out.extend(rob.insert(0x140, seq=2))
+    assert out == [0x100, 0x140]
+    assert rob.deduped == 1
+
+
+def test_reorder_overflow_forces_release():
+    rob = AddressReorderBuffer(capacity=2)
+    released = []
+    # seq 0 never arrives; capacity pressure forces ordered release anyway.
+    released.extend(rob.insert(0x100, seq=1))
+    released.extend(rob.insert(0x140, seq=2))
+    released.extend(rob.insert(0x180, seq=3))
+    assert released == [0x100]
+    assert rob.overflow_releases == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(list(range(12))))
+def test_reorder_releases_in_sequence_order(order):
+    rob = AddressReorderBuffer(capacity=16)
+    out = []
+    for seq in order:
+        out.extend(rob.insert(seq * 64, seq=seq))
+    assert out == [i * 64 for i in range(12)]
+
+
+# ---------------------------------------------------------------------------
+# Dynamic degree
+# ---------------------------------------------------------------------------
+
+def test_degree_rises_on_confirmations():
+    d = DynamicDegree(min_degree=2, max_degree=16)
+    for _ in range(8):
+        d.record(confirmed=True)
+    assert d.degree > 2
+    assert d.raises >= 1
+
+
+def test_degree_falls_without_confirmations():
+    d = DynamicDegree(min_degree=2, max_degree=16)
+    for _ in range(8):
+        d.record(confirmed=True)
+    high = d.degree
+    for _ in range(100):
+        d.record(confirmed=False)
+    assert d.degree < high
+    assert d.degree >= 2
+
+
+def test_degree_bounds():
+    d = DynamicDegree(2, 8)
+    for _ in range(200):
+        d.record(confirmed=True)
+    assert d.degree == 8
+    with pytest.raises(ValueError):
+        DynamicDegree(4, 2)
+
+
+# ---------------------------------------------------------------------------
+# Confirmation queues
+# ---------------------------------------------------------------------------
+
+def test_classic_confirmation_queue():
+    q = ConfirmationQueue(capacity=4)
+    q.note_prefetch(0x100)
+    assert q.confirm(0x100)
+    assert not q.confirm(0x100)  # consumed
+    assert q.confirmations == 1 and q.misses == 1
+
+
+def test_classic_queue_capacity():
+    q = ConfirmationQueue(capacity=2)
+    for a in (0x0, 0x40, 0x80):
+        q.note_prefetch(a)
+    assert not q.confirm(0x0)  # displaced
+    assert q.confirm(0x80)
+
+
+def test_integrated_queue_generates_expected_addresses():
+    """Section VII-D: expectations come from the locked pattern, not from
+    issued prefetches — confirmations flow before any prefetch issues."""
+    q = IntegratedConfirmationQueue(advance=lambda a: a + 64, depth=3)
+    q.prime(0x1000)
+    assert q.expected == [0x1040, 0x1080, 0x10C0]
+    assert q.confirm(0x1040)
+    assert q.expected == [0x1080, 0x10C0, 0x1100]  # refilled
+
+
+def test_integrated_queue_tolerates_skips():
+    q = IntegratedConfirmationQueue(advance=lambda a: a + 64, depth=4)
+    q.prime(0x0)
+    assert q.confirm(0x80)  # skipped 0x40
+    assert 0x40 not in q.expected
+
+
+def test_integrated_queue_miss():
+    q = IntegratedConfirmationQueue(advance=lambda a: a + 64, depth=2)
+    q.prime(0x0)
+    assert not q.confirm(0x5000)
+    assert q.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# Multi-stride engine
+# ---------------------------------------------------------------------------
+
+def test_stride_locks_paper_pattern():
+    """Section VII-A: A,A+2,A+4,A+9,... locks +2x2,+5x1 and generates
+    A+20, A+22, A+27."""
+    pf = MultiStridePrefetcher(streams=4, min_degree=3, max_degree=3,
+                               line_bytes=1)
+    addrs = [100, 102, 104, 109, 111, 113, 118]
+    out = []
+    for a in addrs:
+        out = pf.train(a)
+    assert out[:3] == [120, 122, 127]
+
+
+def test_stride_unit_line_stream():
+    pf = MultiStridePrefetcher(streams=4, min_degree=2, max_degree=8)
+    out = []
+    for i in range(6):
+        out = pf.train(i * 64)
+    assert out and all(a % 64 == 0 for a in out)
+    assert out[0] > 5 * 64
+
+
+def test_stride_multiple_streams_independent():
+    pf = MultiStridePrefetcher(streams=4, min_degree=2, max_degree=4)
+    for i in range(6):
+        pf.train(i * 64)                 # stream A
+        pf.train(0x100_0000 + i * 128)   # stream B, different stride
+    assert len(pf.streams) == 2
+    assert all(s.locked for s in pf.streams)
+
+
+def test_stride_stream_capacity_lru():
+    pf = MultiStridePrefetcher(streams=2)
+    for base in (0x0, 0x100_0000, 0x200_0000):
+        pf.train(base)
+    assert len(pf.streams) == 2
+
+
+def test_stride_no_pattern_no_prefetch():
+    pf = MultiStridePrefetcher(streams=4)
+    import random
+    rng = random.Random(0)
+    issued = []
+    for _ in range(30):
+        issued = pf.train(rng.randrange(0, 1 << 14) & ~63)
+    # Random addresses within the capture window rarely lock a pattern; if
+    # they do, generation stays bounded by the degree.
+    assert len(issued) <= pf.max_degree
+
+
+# ---------------------------------------------------------------------------
+# Two-pass controller
+# ---------------------------------------------------------------------------
+
+def test_two_pass_default_and_switch_to_one_pass():
+    tp = TwoPassController()
+    assert tp.plan().fill_l2_first
+    # Working set fits in L2: every first pass hits -> one-pass mode.
+    for _ in range(TwoPassController.WINDOW):
+        tp.observe_first_pass(l2_hit=True)
+    assert tp.mode == "one"
+    assert not tp.plan().fill_l2_first
+
+
+def test_one_pass_reverts_when_l2_stops_hitting():
+    tp = TwoPassController()
+    for _ in range(TwoPassController.WINDOW):
+        tp.observe_first_pass(l2_hit=True)
+    assert tp.mode == "one"
+    for _ in range(TwoPassController.WINDOW):
+        tp.observe_first_pass(l2_hit=False)
+    assert tp.mode == "two"
+    assert tp.mode_switches == 2
+
+
+# ---------------------------------------------------------------------------
+# SMS
+# ---------------------------------------------------------------------------
+
+def _run_sms_generation(sms, pc, base, offsets):
+    sms.train_miss(pc, base)  # primary
+    for off in offsets:
+        sms.train_miss(pc + 4, base + off)  # associated, different PC
+
+
+def test_sms_learns_region_pattern():
+    sms = SmsPrefetcher(regions=4, region_bytes=1024)
+    for g in range(3):
+        _run_sms_generation(sms, 0x100, 0x10000 + g * 4096, [128, 256])
+    # Fourth visit: primary load triggers prefetches of learned offsets.
+    out = sms.train_miss(0x100, 0x40000)
+    addrs = {p.address for p in out}
+    assert 0x40000 + 128 in addrs and 0x40000 + 256 in addrs
+
+
+def test_sms_low_confidence_issues_l2_only():
+    sms = SmsPrefetcher(regions=2, region_bytes=1024)
+    _run_sms_generation(sms, 0x100, 0x10000, [128])
+    _run_sms_generation(sms, 0x100, 0x20000, [128])  # commits 0x10000 gen
+    sms.flush()
+    out = sms.train_miss(0x100, 0x50000)
+    for p in out:
+        if p.address % 1024 == 128:
+            # confidence 1..2 depending on commits; l2-only when low
+            assert p.to_l1 in (True, False)
+    assert sms.issued_l1 + sms.issued_l2 > 0
+
+
+def test_sms_suppressed_by_stride_coverage():
+    sms = SmsPrefetcher()
+    out = sms.train_miss(0x100, 0x10000, stride_covered=True)
+    assert out == [] and sms.suppressed == 1 and sms.trainings == 0
+
+
+def test_sms_transient_offsets_decay():
+    sms = SmsPrefetcher(regions=2, region_bytes=1024)
+    _run_sms_generation(sms, 0x100, 0x10000, [128])
+    _run_sms_generation(sms, 0x100, 0x20000, [512])  # different offset
+    _run_sms_generation(sms, 0x100, 0x30000, [512])
+    sms.flush()
+    out = sms.train_miss(0x100, 0x60000)
+    addrs = {p.address - 0x60000 for p in out}
+    assert 128 not in addrs  # decayed away
+
+
+# ---------------------------------------------------------------------------
+# Buddy
+# ---------------------------------------------------------------------------
+
+def test_buddy_address():
+    b = BuddyPrefetcher()
+    assert b.buddy_of(0x1000) == 0x1040
+    assert b.buddy_of(0x1040) == 0x1000
+
+
+def test_buddy_issues_and_credits():
+    b = BuddyPrefetcher()
+    buddy = b.on_l2_demand_miss(0x1000)
+    assert buddy == 0x1040
+    b.on_demand_access(0x1040)
+    assert b.useful == 1
+
+
+def test_buddy_filter_disables_on_useless_pattern():
+    b = BuddyPrefetcher()
+    for i in range(BuddyPrefetcher.WINDOW):
+        b.on_l2_demand_miss(i * 128)  # buddies never touched
+    assert not b.enabled
+    assert b.disables == 1
+
+
+def test_buddy_probe_reenables_when_useful():
+    b = BuddyPrefetcher()
+    for i in range(BuddyPrefetcher.WINDOW):
+        b.on_l2_demand_miss(i * 128)
+    assert not b.enabled
+    # While disabled, occasional probes still issue; touch them to recover.
+    i = 1000
+    while not b.enabled and i < 5000:
+        buddy = b.on_l2_demand_miss(i * 128)
+        if buddy is not None:
+            b.on_demand_access(buddy)
+        i += 1
+    assert b.enabled
+
+
+# ---------------------------------------------------------------------------
+# Standalone adaptive prefetcher (Figure 15)
+# ---------------------------------------------------------------------------
+
+def test_standalone_starts_low_and_phantoms():
+    s = StandalonePrefetcher()
+    out = []
+    for i in range(6):
+        out = s.observe(0x10000 + i * 64)
+    assert s.mode == s.LOW
+    assert out == []  # phantoms only
+    assert s.phantom > 0
+
+
+def test_standalone_promotes_on_filter_matches():
+    s = StandalonePrefetcher()
+    for i in range(64):
+        s.observe(0x10000 + i * 64)
+    assert s.mode == s.HIGH
+    assert s.promotions >= 1
+    out = s.observe(0x10000 + 64 * 64)
+    assert out  # now issuing aggressively
+
+
+def test_standalone_demotes_on_bad_accuracy():
+    s = StandalonePrefetcher()
+    for i in range(64):
+        s.observe(0x10000 + i * 64)
+    assert s.mode == s.HIGH
+    # Feed it a stream that keeps breaking: issued prefetches never match.
+    import random
+    rng = random.Random(0)
+    for i in range(3000):
+        if s.mode == s.LOW:
+            break
+        # two-step runs establish streams whose prefetches never confirm
+        base = rng.randrange(0, 1 << 22) & ~63
+        s.observe(base)
+        s.observe(base + 64)
+        s.observe(base + 128)
+    assert s.mode == s.LOW
+    assert s.demotions >= 1
+
+
+def test_standalone_page_carry():
+    s = StandalonePrefetcher()
+    # Establish an upward stream near the end of a page.
+    base = 4096 - 4 * 64
+    for i in range(4):
+        s.observe(base + i * 64)
+    # First touch in the next page inherits the trained stream.
+    s.observe(4096)
+    assert s.page_carries == 1

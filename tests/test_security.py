@@ -1,0 +1,99 @@
+"""Branch-prediction security (Section V)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.security import (
+    EntropySources,
+    PrivilegeLevel,
+    ProcessContext,
+    SecureFrontEndContext,
+    SecurityState,
+    TargetCipher,
+    compute_context_hash,
+    cross_training_attack,
+    diffuse,
+    entropy_rotation_retraining_cost,
+    replay_attack,
+    undiffuse,
+)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_diffusion_is_reversible(v):
+    """Section V: "a deterministic, reversible non-linear transformation"."""
+    assert undiffuse(diffuse(v)) == v
+
+
+def test_diffusion_spreads_bits():
+    a, b = diffuse(0), diffuse(1)
+    assert bin(a ^ b).count("1") > 16  # single input bit flips many outputs
+
+
+def test_context_hash_deterministic_per_context():
+    src = EntropySources()
+    ctx = ProcessContext(asid=3)
+    assert (compute_context_hash(ctx, src)
+            == compute_context_hash(ctx, src))
+
+
+def test_context_hash_differs_across_asid():
+    src = EntropySources()
+    a = compute_context_hash(ProcessContext(asid=1), src)
+    b = compute_context_hash(ProcessContext(asid=2), src)
+    assert a != b
+
+
+def test_context_hash_differs_across_privilege_and_security():
+    src = EntropySources()
+    user = compute_context_hash(
+        ProcessContext(asid=1, privilege=PrivilegeLevel.EL0_USER), src)
+    kern = compute_context_hash(
+        ProcessContext(asid=1, privilege=PrivilegeLevel.EL1_KERNEL), src)
+    sec = compute_context_hash(
+        ProcessContext(asid=1, security_state=SecurityState.SECURE), src)
+    assert len({user, kern, sec}) == 3
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_cipher_roundtrip(target, key):
+    c = TargetCipher(key)
+    assert c.decrypt(c.encrypt(target)) == target
+
+
+def test_cipher_wrong_key_garbles():
+    c1 = TargetCipher(0x1234)
+    c2 = TargetCipher(0x9999)
+    assert c2.decrypt(c1.encrypt(0x40_0000)) != 0x40_0000
+
+
+def test_cross_training_attack_blocked_only_when_encrypted():
+    assert cross_training_attack(encrypted=False).attack_succeeded
+    assert not cross_training_attack(encrypted=True).attack_succeeded
+
+
+def test_replay_attack_blocked_only_when_encrypted():
+    assert replay_attack(encrypted=False).attack_succeeded
+    assert not replay_attack(encrypted=True).attack_succeeded
+
+
+def test_entropy_rotation_changes_hash():
+    assert entropy_rotation_retraining_cost()
+
+
+def test_secure_context_refresh_after_rotation():
+    ctx = SecureFrontEndContext(ProcessContext(asid=8))
+    target = 0x77_4000
+    stored = ctx.cipher.encrypt(target)
+    ctx.rotate_sw_entropy(0x1111)
+    # Old ciphertext no longer decodes to the original target.
+    assert ctx.cipher.decrypt(stored) != target
+
+
+def test_same_context_same_cipher_across_instances():
+    """The owner always recovers its own predictions perfectly."""
+    src = EntropySources()
+    a = SecureFrontEndContext(ProcessContext(asid=9), src)
+    b = SecureFrontEndContext(ProcessContext(asid=9), src)
+    assert b.cipher.decrypt(a.cipher.encrypt(0xABCD00)) == 0xABCD00

@@ -1,0 +1,60 @@
+"""GenerationConfig serialization round-trips."""
+
+import pytest
+
+from repro.config import all_generations, get_generation
+from repro.serialization import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+)
+
+
+def test_dict_roundtrip_all_generations():
+    for cfg in all_generations():
+        clone = config_from_dict(config_to_dict(cfg))
+        assert clone == cfg
+
+
+def test_json_roundtrip():
+    cfg = get_generation("M5")
+    clone = config_from_json(config_to_json(cfg))
+    assert clone == cfg
+    assert clone.branch.shp_tables == 16
+    assert clone.l3 is not None and clone.l3.size_kib == 3072
+
+
+def test_m1_null_l3_roundtrips():
+    cfg = get_generation("M1")
+    data = config_to_dict(cfg)
+    assert data["l3"] is None
+    assert config_from_dict(data).l3 is None
+
+
+def test_dict_is_json_friendly():
+    import json
+
+    for cfg in all_generations():
+        json.dumps(config_to_dict(cfg))  # must not raise
+
+
+def test_malformed_nested_field_rejected():
+    data = config_to_dict(get_generation("M3"))
+    data["branch"] = "not-a-mapping"
+    with pytest.raises(TypeError):
+        config_from_dict(data)
+
+
+def test_modified_roundtrip_feeds_simulator():
+    from repro.core import GenerationSimulator
+    from repro.traces import make_trace
+
+    data = config_to_dict(get_generation("M4"))
+    data["name"] = "M4-variant"
+    data["rob_size"] = 300
+    cfg = config_from_dict(data)
+    r = GenerationSimulator(cfg).run(
+        make_trace("loop_kernel", seed=1, n_instructions=2000))
+    assert r.generation == "M4-variant"
+    assert r.ipc > 0

@@ -1,0 +1,128 @@
+"""Micro-op cache storage and mode state machine (Section VI)."""
+
+import pytest
+
+from repro.power import EnergyLedger
+from repro.uop_cache import UocController, UocMode, UopCache
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+def test_uoc_build_then_probe():
+    u = UopCache(capacity_uops=64)
+    assert not u.probe(0x1000)
+    assert u.build(0x1000, 8)
+    assert u.probe(0x1000)
+    assert u.resident_uops == 8
+
+
+def test_uoc_duplicate_build_squashed():
+    """The back-propagation race: an extra build request for a resident
+    block "will be squashed by the UOC" (Section VI)."""
+    u = UopCache(capacity_uops=64)
+    u.build(0x1000, 8)
+    assert not u.build(0x1000, 8)
+    assert u.squashed_builds == 1
+    assert u.resident_uops == 8
+
+
+def test_uoc_capacity_evicts_lru_blocks():
+    u = UopCache(capacity_uops=16)
+    u.build(0x1000, 8)
+    u.build(0x2000, 8)
+    u.build(0x3000, 8)  # evicts 0x1000
+    assert not u.contains(0x1000)
+    assert u.contains(0x3000)
+    assert u.resident_uops <= 16
+
+
+def test_uoc_rejects_oversized_block():
+    u = UopCache(capacity_uops=8)
+    assert not u.build(0x1000, 9)
+
+
+def test_uoc_validation():
+    with pytest.raises(ValueError):
+        UopCache(0)
+    u = UopCache(16)
+    with pytest.raises(ValueError):
+        u.build(0x0, 0)
+
+
+def test_m5_capacity_is_384_uops():
+    from repro.config import M5
+    u = UopCache(M5.uoc_uops, M5.uoc_uops_per_cycle)
+    assert u.capacity_uops == 384 and u.uops_per_cycle == 6
+
+
+# ---------------------------------------------------------------------------
+# Mode machine (Figure 13)
+# ---------------------------------------------------------------------------
+
+def _kernel_blocks():
+    """A small repeatable kernel of 4 blocks."""
+    return [(0x1000 + i * 0x40, 6) for i in range(4)]
+
+
+def _drive(ctrl, blocks, reps, predictable=True):
+    for _ in range(reps):
+        for pc, n in blocks:
+            ctrl.on_block(pc, n, ubtb_predictable=predictable)
+
+
+def test_filter_to_build_to_fetch_progression():
+    ctrl = UocController(UopCache(384), EnergyLedger())
+    blocks = _kernel_blocks()
+    _drive(ctrl, blocks, reps=4)  # FilterMode streak
+    assert ctrl.mode in (UocMode.BUILD, UocMode.FETCH)
+    _drive(ctrl, blocks, reps=30)
+    assert ctrl.mode is UocMode.FETCH
+    assert ctrl.stats.to_build >= 1 and ctrl.stats.to_fetch >= 1
+
+
+def test_unpredictable_code_never_leaves_filter():
+    ctrl = UocController(UopCache(384))
+    _drive(ctrl, _kernel_blocks(), reps=40, predictable=False)
+    assert ctrl.mode is UocMode.FILTER
+    assert ctrl.stats.to_build == 0
+
+
+def test_oversized_kernel_fails_filter():
+    ctrl = UocController(UopCache(16))
+    _drive(ctrl, [(0x1000, 64)], reps=40)  # block bigger than the UOC
+    assert ctrl.mode is UocMode.FILTER
+
+
+def test_fetch_mode_saves_fetch_decode_energy():
+    ledger_uoc = EnergyLedger()
+    ctrl = UocController(UopCache(384), ledger_uoc)
+    blocks = _kernel_blocks()
+    _drive(ctrl, blocks, reps=60)
+    ledger_legacy = EnergyLedger()
+    n_blocks = 60 * len(blocks)
+    ledger_legacy.record("icache_fetch", n_blocks)
+    ledger_legacy.record("decode", n_blocks)
+    assert ledger_uoc.energy() < ledger_legacy.energy()
+
+
+def test_fetch_mode_falls_back_on_new_code():
+    ctrl = UocController(UopCache(384))
+    _drive(ctrl, _kernel_blocks(), reps=40)
+    assert ctrl.mode is UocMode.FETCH
+    # A flood of unseen blocks flips #BuildEdge/#FetchEdge back (the
+    # machine may later re-enter FetchMode once the new kernel is built;
+    # what matters is that the fallback transition fired).
+    fresh = [(0x9000 + i * 0x40, 6) for i in range(40)]
+    _drive(ctrl, fresh, reps=5)
+    assert ctrl.stats.back_to_filter >= 1
+
+
+def test_mispredict_ends_fetch_mode():
+    ctrl = UocController(UopCache(384))
+    blocks = _kernel_blocks()
+    _drive(ctrl, blocks, reps=40)
+    assert ctrl.mode is UocMode.FETCH
+    ctrl.on_block(blocks[0][0], blocks[0][1], ubtb_predictable=False)
+    assert ctrl.mode is UocMode.FILTER

@@ -1,0 +1,245 @@
+"""VPC indirect prediction, redirect accelerators, confidence and MRB."""
+
+import pytest
+
+from repro.frontend.accel import RedirectAccelerator
+from repro.frontend.btb import BTBHierarchy
+from repro.frontend.confidence import ConfidenceEstimator
+from repro.frontend.mrb import MispredictRecoveryBuffer, SEQUENCE_LENGTH
+from repro.frontend.shp import ScaledHashedPerceptron
+from repro.frontend.vpc import HASH_TABLE_LATENCY, VPCPredictor, virtual_pc
+from repro.traces.types import Kind
+
+
+def _vpc(hybrid=False, max_targets=16):
+    shp = ScaledHashedPerceptron(4, 512, ghist_bits=32, phist_bits=16)
+    return VPCPredictor(
+        shp,
+        max_targets=max_targets,
+        hybrid_hash_entries=1024 if hybrid else 0,
+    ), shp
+
+
+# ---------------------------------------------------------------------------
+# VPC
+# ---------------------------------------------------------------------------
+
+def test_virtual_pcs_distinct_per_position():
+    vs = {virtual_pc(0x1000, i) for i in range(16)}
+    assert len(vs) == 16
+
+
+def test_vpc_learns_single_target():
+    vpc, shp = _vpc()
+    for _ in range(30):
+        pred = vpc.predict(0x100)
+        vpc.update(0x100, 0xAAA0)
+    pred = vpc.predict(0x100)
+    assert pred.target == 0xAAA0
+    assert pred.latency == 1  # first chain position
+
+
+def test_vpc_chain_grows_in_discovery_order():
+    vpc, _ = _vpc()
+    for t in (0x10, 0x20, 0x30):
+        vpc.update(0x200, t)
+    assert vpc.chains[0x200] == [0x10, 0x20, 0x30]
+    assert vpc.chain_length(0x200) == 3
+
+
+def test_vpc_chain_capacity_recycles_tail():
+    vpc, _ = _vpc(max_targets=4)
+    for t in range(8):
+        vpc.update(0x300, 0x1000 + t * 16)
+    assert len(vpc.chains[0x300]) == 4
+    assert vpc.chain_overflows > 0
+    # Most recent overflow target occupies the tail slot.
+    assert vpc.chains[0x300][-1] == 0x1000 + 7 * 16
+
+
+def test_vpc_latency_grows_with_chain_position():
+    """VPC is O(n) in the predicted position (Section IV-F)."""
+    vpc, shp = _vpc()
+    # Train a rotation so late positions get predicted sometimes.
+    targets = [0x10, 0x20, 0x30, 0x40]
+    latencies = []
+    for i in range(200):
+        pred = vpc.predict(0x400)
+        if pred.vpc_position >= 0:
+            latencies.append((pred.vpc_position, pred.latency))
+        vpc.update(0x400, targets[i % 4])
+        shp.push_history(0x400, False, True)
+    for pos, lat in latencies:
+        assert lat == pos + 1
+
+
+def test_hybrid_caps_vpc_walk_and_uses_hash():
+    vpc, shp = _vpc(hybrid=True)
+    # 12 distinct targets driven by the *target history*: VPC beyond 5 is
+    # never consulted; the hash table handles the overflow targets.
+    targets = [0x1000 + 16 * i for i in range(12)]
+    hits = 0
+    for i in range(600):
+        t = targets[(i * 7) % 12]
+        pred = vpc.predict(0x500)
+        if pred.target == t:
+            hits += 1
+        vpc.update(0x500, t)
+    assert vpc.hash_hits > 0
+    # Latency capped at max(5, hash latency), never a 12-step walk.
+    pred = vpc.predict(0x500)
+    assert pred.latency <= max(5, HASH_TABLE_LATENCY)
+
+
+def test_hybrid_beats_plain_vpc_on_target_history_workload():
+    """The M6 rationale: target streams driven by recent-target history
+    defeat the conditional-history VPC but suit the hash table."""
+    def run(hybrid):
+        vpc, shp = _vpc(hybrid=hybrid)
+        targets = [0x2000 + 64 * i for i in range(20)]
+        state = 0
+        correct = total = 0
+        for i in range(1500):
+            state = (state + 1) % 20  # 20-target rotation
+            t = targets[state]
+            pred = vpc.predict(0x600)
+            if i > 500:
+                total += 1
+                correct += pred.target == t
+            vpc.update(0x600, t)
+        return correct / total
+
+    assert run(True) > run(False) + 0.2
+
+
+def test_miss_prediction_when_unknown():
+    vpc, _ = _vpc()
+    pred = vpc.predict(0x999)
+    assert pred.target is None and pred.source == "miss"
+
+
+# ---------------------------------------------------------------------------
+# Redirect accelerators (1AT / ZAT / ZOT)
+# ---------------------------------------------------------------------------
+
+def _entry(btb, pc, kind=Kind.BR_COND, taken_times=10):
+    e = btb.discover(pc, pc + 0x100, kind)
+    for _ in range(taken_times):
+        e.record_outcome(True)
+    return e
+
+
+def test_plain_branch_pays_two_bubbles():
+    btb = BTBHierarchy(64, 16, 128)
+    acc = RedirectAccelerator(has_1at=False, has_zat_zot=False, btb=btb)
+    e = _entry(btb, 0x100)
+    assert acc.taken_bubbles(e) == 2
+
+
+def test_1at_reduces_always_taken_to_one_bubble():
+    btb = BTBHierarchy(64, 16, 128)
+    acc = RedirectAccelerator(has_1at=True, has_zat_zot=False, btb=btb)
+    e = _entry(btb, 0x100)
+    assert acc.taken_bubbles(e) == 1
+    assert acc.redirects_1at == 1
+    # A branch seen not-taken loses the 1AT treatment.
+    e.record_outcome(False)
+    assert acc.taken_bubbles(e) == 2
+
+
+def test_zat_replication_gives_zero_bubbles():
+    """Figure 5: X's entry learns B's target; predicting X covers B."""
+    btb = BTBHierarchy(64, 16, 128)
+    acc = RedirectAccelerator(has_1at=True, has_zat_zot=True, btb=btb)
+    x = _entry(btb, 0x100)
+    b = _entry(btb, 0x200)  # always taken successor
+    acc.observe_taken(x)
+    acc.learn_replication(b)  # B follows X's redirect
+    assert x.replicated_next_pc == 0x200
+    assert acc.taken_bubbles(b) == 0
+    assert acc.redirects_zat == 1
+
+
+def test_zot_covers_often_taken():
+    btb = BTBHierarchy(64, 16, 128)
+    acc = RedirectAccelerator(has_1at=True, has_zat_zot=True, btb=btb)
+    x = _entry(btb, 0x100)
+    b = _entry(btb, 0x200, taken_times=15)
+    b.record_outcome(False)  # often- but not always-taken
+    acc.observe_taken(x)
+    acc.learn_replication(b)
+    assert acc.taken_bubbles(b) == 0
+    assert acc.redirects_zot == 1
+
+
+def test_stale_replication_dropped_when_successor_degrades():
+    btb = BTBHierarchy(64, 16, 128)
+    acc = RedirectAccelerator(has_1at=False, has_zat_zot=True, btb=btb)
+    x = _entry(btb, 0x100)
+    b = _entry(btb, 0x200)
+    acc.observe_taken(x)
+    acc.learn_replication(b)
+    assert x.replicated_next_pc == 0x200
+    for _ in range(10):
+        b.record_outcome(False)
+    acc.observe_taken(x)
+    acc.learn_replication(b)
+    assert x.replicated_next_pc is None
+
+
+# ---------------------------------------------------------------------------
+# Confidence + MRB
+# ---------------------------------------------------------------------------
+
+def test_confidence_starts_low_and_saturates():
+    c = ConfidenceEstimator(entries=64, threshold=4)
+    assert c.is_low_confidence(0x100)
+    for _ in range(10):
+        c.record(0x100, correct=True)
+    assert not c.is_low_confidence(0x100)
+    c.record(0x100, correct=False)  # resetting counter
+    assert c.is_low_confidence(0x100)
+
+
+def test_mrb_record_then_replay():
+    mrb = MispredictRecoveryBuffer(entries=8)
+    mrb.start_recording(0x100)
+    for a in (0xA0, 0xB0, 0xC0):
+        mrb.observe_fetch_address(a)
+    assert mrb.allocations == 1
+    assert mrb.begin_replay(0x100)
+    assert mrb.verify_next(0xA0) is True
+    assert mrb.verify_next(0xB0) is True
+    assert mrb.verify_next(0xC0) is True
+    assert mrb.verify_next(0xD0) is None  # replay exhausted
+    assert mrb.replay_hits == SEQUENCE_LENGTH
+
+
+def test_mrb_mismatch_cancels_replay():
+    mrb = MispredictRecoveryBuffer(entries=8)
+    mrb.start_recording(0x100)
+    for a in (0xA0, 0xB0, 0xC0):
+        mrb.observe_fetch_address(a)
+    mrb.begin_replay(0x100)
+    assert mrb.verify_next(0xA0) is True
+    assert mrb.verify_next(0xFF) is False  # path diverged
+    assert mrb.verify_next(0xC0) is None   # cancelled
+    assert mrb.replay_misses == 1
+
+
+def test_mrb_capacity_lru():
+    mrb = MispredictRecoveryBuffer(entries=2)
+    for pc in (0x1, 0x2, 0x3):
+        mrb.start_recording(pc)
+        for a in (1, 2, 3):
+            mrb.observe_fetch_address(a)
+    assert not mrb.begin_replay(0x1)  # evicted
+    assert mrb.begin_replay(0x3)
+
+
+def test_mrb_disabled_when_zero_entries():
+    mrb = MispredictRecoveryBuffer(entries=0)
+    assert not mrb.enabled
+    mrb.start_recording(0x1)
+    mrb.observe_fetch_address(0xA0)
+    assert not mrb.begin_replay(0x1)

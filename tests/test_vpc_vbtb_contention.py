@@ -1,0 +1,63 @@
+"""VPC chain spill into the shared vBTB (Figure 3 / Section IV-F)."""
+
+from repro.config import get_generation
+from repro.frontend import BranchUnit
+from repro.frontend.shp import ScaledHashedPerceptron
+from repro.frontend.vpc import VPCPredictor
+
+
+def _vpc(slots):
+    return VPCPredictor(ScaledHashedPerceptron(2, 128), max_targets=16,
+                        vbtb_chain_slots=slots)
+
+
+def test_no_spill_within_resident_targets():
+    vpc = _vpc(slots=4)
+    for t in range(VPCPredictor.RESIDENT_TARGETS):
+        vpc.update(0x100, 0x1000 + 16 * t)
+    assert vpc._spilled_slots == 0
+
+
+def test_spill_slots_claimed_beyond_resident():
+    vpc = _vpc(slots=8)
+    for t in range(10):
+        vpc.update(0x100, 0x1000 + 16 * t)
+    assert vpc._spilled_slots == 10 - VPCPredictor.RESIDENT_TARGETS
+
+
+def test_contention_evicts_lru_branch_tail():
+    vpc = _vpc(slots=4)
+    # Branch A claims all four spill slots (chain of 8).
+    for t in range(8):
+        vpc.update(0xA00, 0x1000 + 16 * t)
+    assert vpc.chain_length(0xA00) == 8
+    # Branch B grows past residency: A's spilled tail gets evicted.
+    for t in range(8):
+        vpc.update(0xB00, 0x9000 + 16 * t)
+    assert vpc.vbtb_chain_evictions > 0
+    assert vpc.chain_length(0xA00) < 8
+    assert vpc._spilled_slots <= 4
+
+
+def test_single_hot_branch_recycles_own_tail():
+    vpc = _vpc(slots=2)
+    for t in range(12):
+        vpc.update(0xC00, 0x1000 + 16 * t)
+    # Resident 4 + at most 2 spilled slots.
+    assert vpc.chain_length(0xC00) <= VPCPredictor.RESIDENT_TARGETS + 2
+
+
+def test_unlimited_when_slots_zero():
+    vpc = _vpc(slots=0)
+    for t in range(16):
+        vpc.update(0xD00, 0x1000 + 16 * t)
+    assert vpc.chain_length(0xD00) == 16
+    assert vpc.vbtb_chain_evictions == 0
+
+
+def test_branch_unit_wires_vbtb_budget():
+    unit = BranchUnit(get_generation("M1"))
+    assert unit.vpc.vbtb_chain_slots == \
+        get_generation("M1").branch.vbtb_entries // 2
+    m6 = BranchUnit(get_generation("M6"))
+    assert m6.vpc.vbtb_chain_slots > unit.vpc.vbtb_chain_slots

@@ -1,0 +1,105 @@
+"""Workload suite construction and per-family characteristics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces import (
+    FAMILIES,
+    SUITE_WEIGHTS,
+    cbp5_suite,
+    make_trace,
+    standard_suite,
+)
+from repro.traces.types import Kind
+from repro.traces.workloads import btb_stress
+
+
+def test_suite_weights_cover_known_families():
+    for fam in SUITE_WEIGHTS:
+        assert fam in FAMILIES
+
+
+def test_standard_suite_size_and_determinism():
+    a = standard_suite(n_slices=8, slice_length=2000, seed=5)
+    b = standard_suite(n_slices=8, slice_length=2000, seed=5)
+    assert len(a) == len(b) == 8
+    for ta, tb in zip(a, b):
+        assert ta.name == tb.name
+        assert [r.pc for r in ta] == [r.pc for r in tb]
+
+
+def test_standard_suite_seed_changes_population():
+    a = standard_suite(n_slices=4, slice_length=1000, seed=1)
+    b = standard_suite(n_slices=4, slice_length=1000, seed=2)
+    assert [t.name for t in a] != [t.name for t in b]
+
+
+def test_suite_slices_carry_family_labels():
+    suite = standard_suite(n_slices=30, slice_length=800, seed=9)
+    fams = {t.family for t in suite}
+    assert len(fams) >= 6  # weighted round-robin mixes families
+
+
+def test_cbp5_suite_contents():
+    traces = cbp5_suite(n_traces=3, trace_length=2000, seed=1)
+    assert len(traces) == 3
+    for t in traces:
+        assert t.family == "cbp5_like"
+        assert t.load_count == 0
+
+
+def test_btb_stress_static_branch_count():
+    program = btb_stress(seed=3)
+    # Thousands of static branches: between M1's mBTB and M6's reach.
+    n_branches = sum(1 for b in program.blocks if b.has_branch)
+    assert 2048 < n_branches < 8192
+
+
+def test_btb_stress_trace_cycles_whole_program():
+    t = make_trace("btb_stress", seed=3, n_instructions=30_000)
+    static = len({r.pc for r in t if r.is_branch})
+    assert static > 1500  # most of the program executes
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_stream_like_is_strided(seed):
+    t = make_trace("stream_like", seed=seed, n_instructions=2000)
+    loads = [r.addr for r in t if r.is_load]
+    assert len(loads) > 50
+    # Split per stream region; within a region deltas are constant.
+    regions = {}
+    for a in loads:
+        regions.setdefault(a >> 24, []).append(a)
+    stride_ok = 0
+    for addrs in regions.values():
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        if len(deltas) <= 2:
+            stride_ok += 1
+    assert stride_ok >= 1
+
+
+def test_pointer_chase_loads_depend_on_loads():
+    t = make_trace("pointer_chase", seed=1, n_instructions=3000)
+    primary = [r for r in t if r.is_load and r.src1_dist > 4]
+    assert primary  # the node-pointer load carries a long dependence
+
+
+def test_specfp_is_fp_heavy():
+    t = make_trace("specfp_like", seed=2, n_instructions=5000)
+    fp = sum(1 for r in t
+             if r.kind in (Kind.FP_ADD, Kind.FP_MUL, Kind.FP_MAC))
+    assert fp / len(t) > 0.2
+
+
+def test_loop_kernel_small_code_footprint():
+    t = make_trace("loop_kernel", seed=4, n_instructions=4000)
+    pcs = {r.pc for r in t}
+    footprint = max(pcs) - min(pcs)
+    assert footprint < 1024  # fits comfortably in the uBTB/UOC
+
+
+def test_families_registry_all_buildable():
+    for fam in FAMILIES:
+        t = make_trace(fam, seed=0, n_instructions=400)
+        assert len(t) == 400
