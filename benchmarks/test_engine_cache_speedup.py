@@ -1,0 +1,34 @@
+"""Engine acceptance: a warm disk cache beats a cold run by >= 5x.
+
+The cold pass simulates every (slice x generation) task and writes the
+results under a throwaway cache directory; the warm pass re-requests the
+same population after dropping all in-memory state, so every task must be
+served from disk.  Warm runs never build traces or touch the simulator —
+they are pure JSON reads — so the 5x bar is conservative (typically
+hundreds of x).
+"""
+
+import time
+
+from repro.engine import clear_caches, execute_population
+
+
+def _run(cache_dir):
+    t0 = time.perf_counter()
+    pop, stats = execute_population(n_slices=6, slice_length=4000, seed=9,
+                                    cache="disk", cache_dir=cache_dir)
+    return pop, stats, time.perf_counter() - t0
+
+
+def test_warm_disk_cache_is_5x_faster(tmp_path):
+    clear_caches()
+    cold_pop, cold_stats, cold_s = _run(tmp_path)
+    assert cold_stats.executed == cold_stats.tasks_total
+
+    clear_caches()  # memory gone; only the disk tier remains
+    warm_pop, warm_stats, warm_s = _run(tmp_path)
+    assert warm_stats.executed == 0
+    assert warm_stats.cache_hits == warm_stats.tasks_total
+    assert warm_pop.metrics == cold_pop.metrics
+    assert warm_s * 5 <= cold_s, (
+        f"warm run {warm_s:.3f}s not 5x faster than cold {cold_s:.3f}s")

@@ -13,8 +13,8 @@ Run:  python examples/design_exploration.py
 
 from dataclasses import replace
 
+import repro
 from repro.config import get_generation
-from repro.core import GenerationSimulator
 from repro.serialization import config_to_json
 from repro.traces import make_trace
 
@@ -59,8 +59,8 @@ def main() -> None:
     print(f"{'family':14s} {'M6 IPC':>8s} {'M7 IPC':>8s} {'gain':>7s}")
     for fam in fams:
         t = make_trace(fam, seed=13, n_instructions=15_000)
-        r6 = GenerationSimulator(m6).run(t)
-        r7 = GenerationSimulator(m7).run(t)
+        r6 = repro.run(t, m6)
+        r7 = repro.run(t, m7)
         gain = 100.0 * (r7.ipc / r6.ipc - 1.0)
         print(f"{fam:14s} {r6.ipc:8.2f} {r7.ipc:8.2f} {gain:6.1f}%")
     print("\nWidth-bound kernels gain from the 10-wide front end; "

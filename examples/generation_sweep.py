@@ -7,7 +7,10 @@ paper's 4,026-slice plot, with the same reading: low-IPC slices improve
 through prefetching, the middle through MPKI/cache work, and high-IPC
 slices are released by the 4-wide -> 6-wide -> 8-wide front end.
 
-Run:  python examples/generation_sweep.py          (~1 minute)
+Runs through ``repro.engine``: sharded across every CPU and cached on
+disk, so a second invocation renders instantly from ``~/.cache/repro``.
+
+Run:  python examples/generation_sweep.py          (~1 minute cold)
       REPRO_SWEEP_SLICES=48 python examples/generation_sweep.py
 """
 
@@ -26,8 +29,10 @@ from repro.harness import (
 def main() -> None:
     n = int(os.environ.get("REPRO_SWEEP_SLICES", "18"))
     length = int(os.environ.get("REPRO_SWEEP_SLICE_LEN", "10000"))
+    workers = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))  # 0 = per CPU
     print(f"running {n} slices x {length} uops x 6 generations ...")
-    pop = run_population(n_slices=n, slice_length=length, seed=2020)
+    pop = run_population(n_slices=n, slice_length=length, seed=2020,
+                         workers=workers, cache="disk")
 
     print()
     print(render_curves(figure17_ipc(pop), "FIG 17 (mini) - IPC per slice"))

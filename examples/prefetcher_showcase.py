@@ -11,6 +11,7 @@ which engine covers each:
 Run:  python examples/prefetcher_showcase.py
 """
 
+import repro
 from repro.config import get_generation
 from repro.core import GenerationSimulator
 from repro.memory import MemoryHierarchy
@@ -41,7 +42,7 @@ def generations_on_memory_families() -> None:
         t = make_trace(fam, seed=11, n_instructions=15_000)
         row = []
         for g in gens:
-            r = GenerationSimulator(get_generation(g)).run(t)
+            r = repro.run(t, g)
             row.append(f"{r.average_load_latency:7.1f}")
         print(f"  {fam:14s} " + " ".join(row))
     print("  (M3 adds SMS, M4 Buddy + fast path, M5 the standalone engine"

@@ -9,8 +9,8 @@ tracks: IPC, MPKI and average load latency.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import all_generations, make_trace
-from repro.core import GenerationSimulator
 
 
 def main() -> None:
@@ -20,7 +20,7 @@ def main() -> None:
     print(f"{'gen':4s} {'IPC':>6s} {'MPKI':>7s} {'avg load lat':>13s} "
           f"{'bubbles/br':>11s}")
     for config in all_generations():
-        result = GenerationSimulator(config).run(trace)
+        result = repro.run(trace, config)
         print(f"{config.name:4s} {result.ipc:6.2f} {result.mpki:7.2f} "
               f"{result.average_load_latency:13.1f} "
               f"{result.branch.bubbles_per_branch:11.2f}")

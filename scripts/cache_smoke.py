@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""CLI cache smoke test: the second ``python -m repro population`` run
+must be served from the disk cache and finish at least 5x faster.
+
+Runs the population command twice as real subprocesses against a
+throwaway ``REPRO_CACHE_DIR`` (so a developer's ``~/.cache/repro`` is
+never touched), times both, and checks that the outputs match and the
+warm run clears the speedup bar.  Used by the CI smoke job; also handy
+locally:
+
+    PYTHONPATH=src python scripts/cache_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+SLICES = int(os.environ.get("SMOKE_SLICES", "6"))
+MIN_SPEEDUP = float(os.environ.get("SMOKE_MIN_SPEEDUP", "5"))
+
+
+def run_population(cache_dir: str) -> tuple[str, float]:
+    env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+    cmd = [sys.executable, "-m", "repro", "population",
+           "--slices", str(SLICES)]
+    t0 = time.perf_counter()
+    proc = subprocess.run(cmd, env=env, check=True,
+                          capture_output=True, text=True)
+    return proc.stdout, time.perf_counter() - t0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        cold_out, cold_s = run_population(cache_dir)
+        warm_out, warm_s = run_population(cache_dir)
+
+    print(f"cold: {cold_s:.2f}s  warm: {warm_s:.2f}s  "
+          f"speedup: {cold_s / max(warm_s, 1e-9):.1f}x  "
+          f"(required >= {MIN_SPEEDUP:g}x)")
+
+    if warm_out != cold_out:
+        print("FAIL: cached run printed different tables", file=sys.stderr)
+        return 1
+    if warm_s * MIN_SPEEDUP > cold_s:
+        print(f"FAIL: warm run {warm_s:.2f}s is not {MIN_SPEEDUP:g}x "
+              f"faster than cold {cold_s:.2f}s", file=sys.stderr)
+        return 1
+    print("OK: warm run served from cache")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

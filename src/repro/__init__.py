@@ -3,6 +3,11 @@
 
 Top-level API:
 
+- :func:`repro.run` — simulate one trace (or picklable trace spec) on one
+  generation.
+- :func:`repro.run_population` — the standard suite across generations,
+  with ``workers=N`` process sharding and ``cache="off"|"memory"|"disk"``
+  result memoization (see :mod:`repro.engine`).
 - :mod:`repro.config` — the six generation configurations (Table I).
 - :mod:`repro.traces` — synthetic workload families and the standard
   evaluation population.
@@ -13,14 +18,21 @@ Top-level API:
 - :mod:`repro.prefetch` — multi-stride, SMS, Buddy, standalone engines.
 - :mod:`repro.core` — the scoreboard timing model and
   :class:`~repro.core.simulator.GenerationSimulator`.
+- :mod:`repro.engine` — the parallel population execution engine and its
+  on-disk result cache.
 - :mod:`repro.harness` — regenerates every table and figure.
 
 Quick start::
 
-    from repro import simulate, make_trace
-    result = simulate("M5", make_trace("specint_like", seed=1))
+    import repro
+    result = repro.run(("specint_like", 1), "M5")
     print(result.ipc, result.mpki, result.average_load_latency)
+
+    pop = repro.run_population(n_slices=24, workers=4, cache="disk")
+    print(pop.mean("M6", "ipc"))
 """
+
+__version__ = "1.0.0"
 
 from .config import (  # noqa: F401
     GENERATIONS,
@@ -30,6 +42,11 @@ from .config import (  # noqa: F401
     get_generation,
 )
 from .core import GenerationSimulator, SimulationResult, simulate  # noqa: F401
-from .traces import Trace, TraceRecord, make_trace, standard_suite  # noqa: F401
-
-__version__ = "1.0.0"
+from .traces import (  # noqa: F401
+    Trace,
+    TraceRecord,
+    TraceSpec,
+    make_trace,
+    standard_suite,
+)
+from .engine import run, run_population  # noqa: F401

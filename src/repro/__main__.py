@@ -16,6 +16,13 @@ Commands:
     Compose every table and population figure into one document.
 ``families``
     List the available workload families.
+
+Population-statistic commands (``tables``/``population``/``fig1``/
+``report``) run through :mod:`repro.engine`: ``--workers N`` shards the
+task matrix across processes (``--workers 0`` = one per CPU), and results
+are cached on disk under ``~/.cache/repro`` (``REPRO_CACHE_DIR``
+overrides; ``--no-cache`` disables) so repeat invocations skip
+simulation entirely.
 """
 
 from __future__ import annotations
@@ -24,21 +31,51 @@ import argparse
 import sys
 
 from .config import GENERATION_ORDER
-from .core import GenerationSimulator
 from .config import get_generation
-from .traces import FAMILIES, make_trace
+from .engine import run as run_one
+from .traces import FAMILIES, TraceSpec
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Engine knobs shared by the population-statistic commands."""
+    return {
+        "workers": args.workers,
+        "cache": "off" if args.no_cache else "disk",
+        "progress": _progress_printer(),
+    }
+
+
+def _progress_printer():
+    """A ``progress(done, total)`` callback: live counter on a TTY."""
+    if not sys.stderr.isatty():
+        return None
+
+    def progress(done: int, total: int) -> None:
+        sys.stderr.write(f"\r  engine: {done}/{total} tasks")
+        if done == total:
+            sys.stderr.write("\r" + " " * 40 + "\r")
+        sys.stderr.flush()
+
+    return progress
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = make_trace(args.family, seed=args.seed,
-                       n_instructions=args.length)
+    spec = TraceSpec(args.family, args.seed, args.length)
+    trace = spec.build()
     gens = [args.gen.upper()] if args.gen != "all" else list(GENERATION_ORDER)
     print(f"workload {trace.name}: {len(trace)} uops, "
           f"{trace.branch_count} branches, {trace.load_count} loads")
     print(f"{'gen':4s} {'IPC':>6s} {'MPKI':>7s} {'load-lat':>9s} "
           f"{'bubbles/br':>11s} {'dram':>6s}")
     for g in gens:
-        r = GenerationSimulator(get_generation(g)).run(trace)
+        r = run_one(trace, g)
         print(f"{g:4s} {r.ipc:6.2f} {r.mpki:7.2f} "
               f"{r.average_load_latency:9.1f} "
               f"{r.branch.bubbles_per_branch:11.2f} "
@@ -56,17 +93,21 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     print(render_table3())
     if args.population:
         pop = run_population(n_slices=args.slices,
-                             slice_length=args.length)
+                             slice_length=args.length,
+                             **_engine_kwargs(args))
         print()
         print(render_table4(pop))
     return 0
 
 
 def _cmd_population(args: argparse.Namespace) -> int:
+    from .engine import execute_population
     from .harness import (figure9_mpki, figure16_load_latency, figure17_ipc,
-                          overall_summary, render_curves, run_population)
-    pop = run_population(n_slices=args.slices, slice_length=args.length,
-                         seed=args.seed)
+                          overall_summary, render_curves)
+    pop, stats = execute_population(n_slices=args.slices,
+                                    slice_length=args.length,
+                                    seed=args.seed,
+                                    **_engine_kwargs(args))
     print(render_curves(figure17_ipc(pop), "FIG 17 - IPC per slice"))
     print()
     print(render_curves(figure9_mpki(pop),
@@ -81,13 +122,16 @@ def _cmd_population(args: argparse.Namespace) -> int:
               f"load-lat {s[g]['load_latency']:.1f}")
     print(f"  IPC growth/yr: {s['summary']['ipc_growth_per_year_pct']:.1f}% "
           f"(paper 20.6%)")
+    print(f"  engine: {stats.describe()}", file=sys.stderr)
     return 0
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from .harness import figure1_ghist_sweep
+    kwargs = _engine_kwargs(args)
+    kwargs.pop("progress", None)
     sweep = figure1_ghist_sweep(n_traces=args.traces,
-                                trace_length=args.length)
+                                trace_length=args.length, **kwargs)
     print("FIG 1 - avg MPKI vs GHIST range bits")
     for bits, mpki in sweep.items():
         print(f"  {bits:4d}: {mpki:5.2f} " + "#" * int(mpki * 8))
@@ -96,8 +140,10 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import build_report
+    kwargs = _engine_kwargs(args)
+    kwargs.pop("progress", None)
     text = build_report(n_slices=args.slices, slice_length=args.length,
-                        include_fig1=not args.no_fig1)
+                        include_fig1=not args.no_fig1, **kwargs)
     if args.out:
         with open(args.out, "w") as f:
             f.write(text)
@@ -136,17 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also run the population for Table IV")
     tab.add_argument("--slices", type=int, default=24)
     tab.add_argument("--length", type=int, default=12_000)
+    _add_engine_flags(tab)
     tab.set_defaults(func=_cmd_tables)
 
     pop = sub.add_parser("population", help="Figures 9/16/17 + summary")
     pop.add_argument("--slices", type=int, default=24)
     pop.add_argument("--length", type=int, default=12_000)
     pop.add_argument("--seed", type=int, default=2020)
+    _add_engine_flags(pop)
     pop.set_defaults(func=_cmd_population)
 
     f1 = sub.add_parser("fig1", help="GHIST sweep (Figure 1)")
     f1.add_argument("--traces", type=int, default=5)
     f1.add_argument("--length", type=int, default=30_000)
+    _add_engine_flags(f1)
     f1.set_defaults(func=_cmd_fig1)
 
     rep = sub.add_parser("report", help="full reproduction report")
@@ -154,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--length", type=int, default=12_000)
     rep.add_argument("--out", default=None, help="write to a file")
     rep.add_argument("--no-fig1", action="store_true")
+    _add_engine_flags(rep)
     rep.set_defaults(func=_cmd_report)
 
     fam = sub.add_parser("families", help="list workload families")

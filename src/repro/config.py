@@ -11,6 +11,7 @@ across generations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
@@ -231,6 +232,26 @@ class GenerationConfig:
             f"L1D {self.l1d.size_kib}KB, L2 {self.l2.size_kib}KB, L3 {l3}, "
             f"SHP {self.branch.shp_tables}x{self.branch.shp_rows}"
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every configuration field.
+
+        Two configs fingerprint identically iff every (nested) field is
+        equal, so the hash is a safe cache key for simulation results:
+        any design-exploration tweak — even a hypothetical config that
+        reuses a shipped generation's ``name`` — changes the digest.
+        """
+        return config_fingerprint(self)
+
+
+def config_fingerprint(config: GenerationConfig) -> str:
+    """SHA-256 hex digest of a config's canonical JSON form."""
+    import hashlib
+    import json
+
+    payload = dataclasses.asdict(config)
+    text = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _m1() -> GenerationConfig:

@@ -122,5 +122,17 @@ class GenerationSimulator:
 
 
 def simulate(generation: str, trace: Trace) -> SimulationResult:
-    """Convenience one-shot: simulate ``trace`` on generation ``name``."""
+    """Deprecated alias of :func:`repro.run`.
+
+    .. deprecated:: 1.0
+        Use ``repro.run(trace, generation)`` — same result, and it also
+        accepts picklable trace specs and custom configs.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.simulate(generation, trace) is deprecated; use "
+        "repro.run(trace, generation) instead",
+        DeprecationWarning, stacklevel=2,
+    )
     return GenerationSimulator(get_generation(generation)).run(trace)

@@ -1,0 +1,61 @@
+"""Population result types.
+
+These are the stable return types of every population run.  They
+historically lived in :mod:`repro.harness.population` and are still
+re-exported from there; the canonical home is now the engine so that the
+execution layer (:mod:`repro.engine.runner`) does not depend on the
+figure/table harness built on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class SliceMetrics:
+    """Per-(slice, generation) results kept by population runs."""
+
+    trace_name: str
+    family: str
+    generation: str
+    ipc: float
+    mpki: float
+    average_load_latency: float
+    bubbles_per_branch: float
+    #: Interval-model CPI-stack fractions (base/mispredict/frontend/memory)
+    #: — the Section XI improvement-attribution view.
+    cpi_base: float = 0.0
+    cpi_mispredict: float = 0.0
+    cpi_frontend: float = 0.0
+    cpi_memory: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the disk-cache payload)."""
+        return asdict(self)
+
+
+@dataclass
+class PopulationResult:
+    """All slices x all generations."""
+
+    metrics: List[SliceMetrics] = field(default_factory=list)
+
+    def for_generation(self, name: str) -> List[SliceMetrics]:
+        return [m for m in self.metrics if m.generation == name]
+
+    def series(self, name: str, attr: str, sort: bool = True) -> List[float]:
+        """Per-slice metric values for one generation (sorted for the
+        paper's s-curve presentation)."""
+        vals = [getattr(m, attr) for m in self.for_generation(name)]
+        return sorted(vals) if sort else vals
+
+    def mean(self, name: str, attr: str) -> float:
+        vals = self.series(name, attr, sort=False)
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def family_mean(self, name: str, family: str, attr: str) -> float:
+        vals = [getattr(m, attr) for m in self.for_generation(name)
+                if m.family == family]
+        return sum(vals) / len(vals) if vals else 0.0

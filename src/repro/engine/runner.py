@@ -1,0 +1,266 @@
+"""The population execution engine.
+
+Shards the (trace x generation) task matrix across worker processes,
+memoizes per-task results through :class:`~repro.engine.cache.TaskCache`,
+and reports wall-clock/throughput statistics.  The public entry points —
+:func:`run` and :func:`run_population` — are re-exported as ``repro.run``
+and ``repro.run_population``.
+
+Determinism: every task is a pure function of its payload (traces are
+regenerated from seeded specs; the simulator uses no global randomness),
+so ``workers=N`` produces bit-identical results to the serial path — the
+engine only changes *where* tasks run, never what they compute.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from ..config import (GENERATION_ORDER, GenerationConfig, get_generation)
+from ..traces.spec import TraceSpec, coerce_spec
+from ..traces.types import Trace
+from ..traces.workloads import standard_suite_specs
+from .cache import TaskCache, clear_memory
+from .results import PopulationResult, SliceMetrics
+from .tasks import execute_task, population_task, task_fingerprint
+
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass
+class EngineStats:
+    """What one engine run did, for progress/throughput reporting."""
+
+    tasks_total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+    cache_mode: str = "memory"
+
+    @property
+    def tasks_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tasks_total / self.wall_seconds
+
+    def describe(self) -> str:
+        return (
+            f"{self.tasks_total} tasks ({self.cache_hits} cached, "
+            f"{self.executed} simulated) in {self.wall_seconds:.2f}s "
+            f"({self.tasks_per_second:.1f} tasks/s, "
+            f"workers={self.workers}, cache={self.cache_mode})"
+        )
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class PopulationEngine:
+    """Executes batches of task payloads with caching and worker sharding.
+
+    ``workers=1`` runs tasks serially in-process (the deterministic
+    fallback and the profile under which monkeypatched spies observe the
+    simulator); ``workers>1`` shards cache-missing tasks across a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  ``workers=None``
+    or ``0`` means one worker per CPU.
+    """
+
+    def __init__(self, workers: Optional[int] = 1, cache: str = "memory",
+                 cache_dir: Optional[os.PathLike] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.workers = _resolve_workers(workers)
+        self.cache = TaskCache(cache, cache_dir=cache_dir)
+        self.progress = progress
+        self.last_stats: Optional[EngineStats] = None
+
+    def run_payloads(self, payloads: Sequence[Dict[str, Any]]
+                     ) -> Tuple[List[Dict[str, Any]], EngineStats]:
+        """Execute payloads (cache-first), preserving input order."""
+        t0 = time.perf_counter()
+        total = len(payloads)
+        results: List[Optional[Dict[str, Any]]] = [None] * total
+        fingerprints = [task_fingerprint(p) for p in payloads]
+        done = 0
+
+        missing: List[int] = []
+        for i, fp in enumerate(fingerprints):
+            hit = self.cache.get(fp)
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                self._report(done, total)
+            else:
+                missing.append(i)
+
+        if missing:
+            for i, result in self._execute(payloads, missing):
+                results[i] = result
+                self.cache.put(fingerprints[i], result)
+                done += 1
+                self._report(done, total)
+
+        stats = EngineStats(
+            tasks_total=total,
+            cache_hits=total - len(missing),
+            executed=len(missing),
+            wall_seconds=time.perf_counter() - t0,
+            workers=self.workers,
+            cache_mode=self.cache.mode,
+        )
+        self.last_stats = stats
+        return [r for r in results if r is not None], stats
+
+    def _execute(self, payloads: Sequence[Dict[str, Any]],
+                 missing: Sequence[int]):
+        """Yield ``(index, result)`` for every cache-missing payload."""
+        if self.workers <= 1 or len(missing) <= 1:
+            for i in missing:
+                yield i, execute_task(payloads[i])
+            return
+        n_workers = min(self.workers, len(missing))
+        # Contiguous chunks keep same-trace tasks on the same worker so
+        # its per-process trace memo pays off (tasks are trace-major).
+        chunksize = max(1, len(missing) // (n_workers * 4))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            ordered = [payloads[i] for i in missing]
+            for i, result in zip(missing,
+                                 pool.map(execute_task, ordered,
+                                          chunksize=chunksize)):
+                yield i, result
+
+    def _report(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+
+# ---------------------------------------------------------------------------
+# Population runs
+# ---------------------------------------------------------------------------
+
+#: Memoized whole-population results, keyed by run parameters — the
+#: successor of the old ``harness.population._CACHE`` module global.
+#: Lets several benches share one ``PopulationResult`` *object* within a
+#: process, on top of the per-task result cache.
+_POPULATION_MEMO: Dict[tuple, PopulationResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all in-memory engine state (population memo + task memory
+    tier).  The disk tier is untouched; see
+    :func:`repro.engine.cache.clear_disk`."""
+    _POPULATION_MEMO.clear()
+    clear_memory()
+
+
+def execute_population(
+    n_slices: int = 36,
+    slice_length: int = 20_000,
+    seed: int = 2020,
+    generations: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = 1,
+    cache: str = "memory",
+    cache_dir: Optional[os.PathLike] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Tuple[PopulationResult, EngineStats]:
+    """Run the standard suite on each generation, returning result+stats.
+
+    The metrics list is ordered generation-major (all of M1's slices,
+    then M2's, ...), matching the historical serial implementation;
+    ``workers`` only shards execution and never changes the result.
+    """
+    gens = tuple(generations) if generations else GENERATION_ORDER
+    configs = [get_generation(g) for g in gens]
+    memo_key = (n_slices, slice_length, seed, gens)
+    if cache != "off":
+        memoized = _POPULATION_MEMO.get(memo_key)
+        if memoized is not None:
+            stats = EngineStats(
+                tasks_total=n_slices * len(gens),
+                cache_hits=n_slices * len(gens),
+                executed=0,
+                wall_seconds=0.0,
+                workers=_resolve_workers(workers),
+                cache_mode=cache,
+            )
+            return memoized, stats
+
+    specs = standard_suite_specs(n_slices=n_slices,
+                                 slice_length=slice_length, seed=seed)
+    # Trace-major submission order: the per-worker trace memo then sees
+    # all generations of one trace back to back.
+    payloads = [population_task(config, spec)
+                for spec in specs for config in configs]
+    engine = PopulationEngine(workers=workers, cache=cache,
+                              cache_dir=cache_dir, progress=progress)
+    rows, stats = engine.run_payloads(payloads)
+
+    result = PopulationResult()
+    n_gens = len(configs)
+    for g in range(n_gens):  # assemble generation-major, as before
+        for s in range(len(specs)):
+            result.metrics.append(SliceMetrics(**rows[s * n_gens + g]))
+    if cache != "off":
+        _POPULATION_MEMO[memo_key] = result
+    return result, stats
+
+
+def run_population(
+    n_slices: int = 36,
+    slice_length: int = 20_000,
+    seed: int = 2020,
+    generations: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = 1,
+    cache: str = "memory",
+    cache_dir: Optional[os.PathLike] = None,
+    progress: Optional[ProgressFn] = None,
+) -> PopulationResult:
+    """Simulate the standard suite on each generation.
+
+    Defaults are laptop-scale; the figures' shapes stabilise from ~24
+    slices.  Pass larger ``n_slices``/``slice_length`` for smoother
+    curves, ``workers=N`` (or ``None`` for one per CPU) to shard the
+    task matrix across processes, and ``cache="disk"`` to persist
+    per-task results under ``~/.cache/repro`` so repeated runs skip
+    simulation entirely.
+    """
+    result, _ = execute_population(
+        n_slices=n_slices, slice_length=slice_length, seed=seed,
+        generations=generations, workers=workers, cache=cache,
+        cache_dir=cache_dir, progress=progress)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Single-run entry point
+# ---------------------------------------------------------------------------
+
+def run(trace_or_spec: Union[Trace, TraceSpec, tuple],
+        generation: Union[str, GenerationConfig], *,
+        corunners: int = 0):
+    """Simulate one trace on one generation — the one-stop entry point.
+
+    ``trace_or_spec`` may be a materialized :class:`~repro.traces.types
+    .Trace`, a :class:`~repro.traces.spec.TraceSpec`, or a
+    ``(family, seed[, n_instructions])`` tuple.  ``generation`` is a name
+    (``"M1"`` .. ``"M6"``) or a full :class:`~repro.config
+    .GenerationConfig` (e.g. a design-exploration variant).  Returns the
+    full :class:`~repro.core.simulator.SimulationResult`.
+    """
+    from ..core import GenerationSimulator
+
+    config = (generation if isinstance(generation, GenerationConfig)
+              else get_generation(generation))
+    trace = (trace_or_spec if isinstance(trace_or_spec, Trace)
+             else coerce_spec(trace_or_spec).build())
+    return GenerationSimulator(config, corunners=corunners).run(trace)

@@ -1,0 +1,149 @@
+"""Engine task payloads, fingerprints, and the worker entry point.
+
+A *task* is a self-contained, picklable, JSON-able dict describing one
+unit of simulation work.  Workers receive only the payload — traces are
+shipped as ``(family, seed, n_instructions)`` specs and regenerated in
+the worker (regeneration is deterministic and orders of magnitude cheaper
+to transport than pickling tens of thousands of trace records).
+
+Task kinds:
+
+``"population"``
+    One ``(generation config, trace spec)`` full-simulator run; the result
+    dict is exactly the :class:`~repro.engine.results.SliceMetrics` field
+    set.
+``"ghist"``
+    One Figure 1 measurement: conditional MPKI of a standalone SHP with a
+    given GHIST hash range over one trace.
+
+The fingerprint of a task hashes its *entire* payload (full nested config
+dict included) together with the package version and an engine schema
+version, so any config field change, trace change, model release, or
+result-format change invalidates cached entries by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Dict
+
+from .. import __version__
+from ..config import GenerationConfig
+from ..serialization import config_from_dict, config_to_dict
+from ..traces.spec import TraceSpec
+from ..traces.types import Trace
+
+#: Bump when the result payload format or task semantics change.
+ENGINE_SCHEMA_VERSION = 1
+
+
+def population_task(config: GenerationConfig, spec: TraceSpec,
+                    corunners: int = 0) -> Dict[str, Any]:
+    return {
+        "kind": "population",
+        "config": config_to_dict(config),
+        "trace": spec.to_dict(),
+        "corunners": corunners,
+    }
+
+
+def ghist_task(spec: TraceSpec, ghist_bits: int, tables: int = 8,
+               rows: int = 1024, phist_bits: int = 80) -> Dict[str, Any]:
+    return {
+        "kind": "ghist",
+        "trace": spec.to_dict(),
+        "ghist_bits": ghist_bits,
+        "tables": tables,
+        "rows": rows,
+        "phist_bits": phist_bits,
+    }
+
+
+def task_fingerprint(payload: Dict[str, Any]) -> str:
+    """Stable SHA-256 over the canonical JSON of (payload, versions)."""
+    envelope = {
+        "payload": payload,
+        "version": __version__,
+        "schema": ENGINE_SCHEMA_VERSION,
+    }
+    text = json.dumps(envelope, sort_keys=True, default=list)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-process memo of recently built traces.  Tasks are submitted
+#: trace-major (all generations of a trace adjacent), so a small LRU lets
+#: a worker regenerate each trace once instead of once per generation.
+_TRACE_MEMO: "OrderedDict[tuple, Trace]" = OrderedDict()
+_TRACE_MEMO_CAP = 16
+
+
+def _build_trace(spec_dict: Dict[str, Any]) -> Trace:
+    spec = TraceSpec(**spec_dict)
+    key = spec.key()
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = spec.build()
+        _TRACE_MEMO[key] = trace
+        while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(key)
+    return trace
+
+
+def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from ..core import GenerationSimulator
+    from ..core.interval import estimate_from_simulation
+
+    config = config_from_dict(payload["config"])
+    trace = _build_trace(payload["trace"])
+    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
+    r = sim.run(trace)
+    stack = estimate_from_simulation(r).cpi_stack
+    return {
+        "trace_name": trace.name,
+        "family": trace.family,
+        "generation": config.name,
+        "ipc": r.ipc,
+        "mpki": r.mpki,
+        "average_load_latency": r.average_load_latency,
+        "bubbles_per_branch": r.branch.bubbles_per_branch,
+        "cpi_base": stack["base"],
+        "cpi_mispredict": stack["mispredict"],
+        "cpi_frontend": stack["frontend_bubbles"],
+        "cpi_memory": stack["memory"],
+    }
+
+
+def _run_ghist_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from ..frontend.baselines import (ShpDirectionAdapter,
+                                      measure_conditional_mpki)
+    from ..frontend.shp import ScaledHashedPerceptron
+
+    trace = _build_trace(payload["trace"])
+    shp = ShpDirectionAdapter(
+        ScaledHashedPerceptron(payload["tables"], payload["rows"],
+                               ghist_bits=payload["ghist_bits"],
+                               phist_bits=payload["phist_bits"]))
+    return {"conditional_mpki": measure_conditional_mpki(shp, trace)}
+
+
+_EXECUTORS = {
+    "population": _run_population_task,
+    "ghist": _run_ghist_task,
+}
+
+
+def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one task payload to completion (worker-process entry point)."""
+    try:
+        runner = _EXECUTORS[payload["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown task kind {payload.get('kind')!r}")
+    return runner(payload)

@@ -10,12 +10,13 @@ by unit tests and the examples.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import GENERATION_ORDER
 from ..frontend.baselines import ShpDirectionAdapter, measure_conditional_mpki
 from ..frontend.shp import ScaledHashedPerceptron
-from ..traces import Trace, cbp5_suite
+from ..traces import Trace, cbp5_suite, cbp5_suite_specs
 from .population import PopulationResult, run_population
 
 #: Fig 1's x-axis: GHIST hash-range bit budgets.
@@ -27,20 +28,46 @@ def figure1_ghist_sweep(
     traces: Optional[Sequence[Trace]] = None,
     n_traces: int = 8,
     trace_length: int = 40_000,
+    *,
+    workers: Optional[int] = 1,
+    cache: str = "memory",
+    cache_dir: Optional[os.PathLike] = None,
 ) -> Dict[int, float]:
     """Average MPKI of an 8-table, 1K-weight SHP as the GHIST hash range
-    grows (paper Figure 1 on CBP5; ours on the cbp5-like population)."""
-    if traces is None:
-        traces = cbp5_suite(n_traces=n_traces, trace_length=trace_length)
-    out: Dict[int, float] = {}
-    for bits in ghist_points:
-        total = 0.0
-        for t in traces:
-            shp = ShpDirectionAdapter(
-                ScaledHashedPerceptron(8, 1024, ghist_bits=bits,
-                                       phist_bits=80))
-            total += measure_conditional_mpki(shp, t)
-        out[bits] = total / len(traces)
+    grows (paper Figure 1 on CBP5; ours on the cbp5-like population).
+
+    With the default spec-derived population the (bits x trace) matrix
+    runs through :mod:`repro.engine` — shardable and cacheable like any
+    population run.  Passing explicit ``traces`` keeps the legacy
+    in-process path (materialized traces cannot be shipped to workers).
+    """
+    if traces is not None:
+        out: Dict[int, float] = {}
+        for bits in ghist_points:
+            total = 0.0
+            for t in traces:
+                shp = ShpDirectionAdapter(
+                    ScaledHashedPerceptron(8, 1024, ghist_bits=bits,
+                                           phist_bits=80))
+                total += measure_conditional_mpki(shp, t)
+            out[bits] = total / len(traces)
+        return out
+
+    from ..engine import PopulationEngine, ghist_task
+
+    specs = cbp5_suite_specs(n_traces=n_traces, trace_length=trace_length)
+    # Trace-major so each worker's trace memo sees one trace's whole sweep.
+    payloads = [ghist_task(spec, bits)
+                for spec in specs for bits in ghist_points]
+    engine = PopulationEngine(workers=workers, cache=cache,
+                              cache_dir=cache_dir)
+    rows, _ = engine.run_payloads(payloads)
+    n_points = len(ghist_points)
+    out = {}
+    for p, bits in enumerate(ghist_points):
+        vals = [rows[s * n_points + p]["conditional_mpki"]
+                for s in range(len(specs))]
+        out[bits] = sum(vals) / len(vals)
     return out
 
 

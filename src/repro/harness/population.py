@@ -2,128 +2,36 @@
 
 The paper's cross-generation results (Figures 9, 16, 17; Tables II, IV and
 the Section IV/X summary numbers) are all population statistics over its
-4,026 trace slices.  This module runs our synthetic population through the
-full simulator for each generation and collects the per-slice metrics the
-figure/table renderers consume.
-
-Results are cached in-process by (n_slices, slice_length, seed) so several
-benches can share one population run.
+4,026 trace slices.  Execution lives in :mod:`repro.engine`: the
+(trace x generation) task matrix is sharded across worker processes
+(``workers=N``) and memoized in-process or on disk
+(``cache="off"|"memory"|"disk"``), and this module re-exports the stable
+API the figure/table renderers consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
-from ..config import GENERATION_ORDER, all_generations, get_generation
-from ..core import GenerationSimulator, SimulationResult
-from ..traces import Trace, standard_suite
-
-
-@dataclass
-class SliceMetrics:
-    """Per-(slice, generation) results kept by population runs."""
-
-    trace_name: str
-    family: str
-    generation: str
-    ipc: float
-    mpki: float
-    average_load_latency: float
-    bubbles_per_branch: float
-    #: Interval-model CPI-stack fractions (base/mispredict/frontend/memory)
-    #: — the Section XI improvement-attribution view.
-    cpi_base: float = 0.0
-    cpi_mispredict: float = 0.0
-    cpi_frontend: float = 0.0
-    cpi_memory: float = 0.0
-
-
-@dataclass
-class PopulationResult:
-    """All slices x all generations."""
-
-    metrics: List[SliceMetrics] = field(default_factory=list)
-
-    def for_generation(self, name: str) -> List[SliceMetrics]:
-        return [m for m in self.metrics if m.generation == name]
-
-    def series(self, name: str, attr: str, sort: bool = True) -> List[float]:
-        """Per-slice metric values for one generation (sorted for the
-        paper's s-curve presentation)."""
-        vals = [getattr(m, attr) for m in self.for_generation(name)]
-        return sorted(vals) if sort else vals
-
-    def mean(self, name: str, attr: str) -> float:
-        vals = self.series(name, attr, sort=False)
-        return sum(vals) / len(vals) if vals else 0.0
-
-    def family_mean(self, name: str, family: str, attr: str) -> float:
-        vals = [getattr(m, attr) for m in self.for_generation(name)
-                if m.family == family]
-        return sum(vals) / len(vals) if vals else 0.0
-
-
-_CACHE: Dict[Tuple[int, int, int, Tuple[str, ...]], PopulationResult] = {}
-
-
-def run_population(
-    n_slices: int = 36,
-    slice_length: int = 20_000,
-    seed: int = 2020,
-    generations: Optional[Sequence[str]] = None,
-) -> PopulationResult:
-    """Simulate the standard suite on each generation.
-
-    Defaults are laptop-scale; the figures' shapes stabilise from ~24
-    slices.  Pass larger ``n_slices``/``slice_length`` for smoother
-    curves.
-    """
-    gens = tuple(generations) if generations else GENERATION_ORDER
-    key = (n_slices, slice_length, seed, gens)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    traces = standard_suite(n_slices=n_slices, slice_length=slice_length,
-                            seed=seed)
-    result = PopulationResult()
-    from ..core.interval import estimate_from_simulation
-
-    for gen_name in gens:
-        config = get_generation(gen_name)
-        for trace in traces:
-            sim = GenerationSimulator(config)
-            r = sim.run(trace)
-            stack = estimate_from_simulation(r).cpi_stack
-            result.metrics.append(
-                SliceMetrics(
-                    trace_name=trace.name,
-                    family=trace.family,
-                    generation=gen_name,
-                    ipc=r.ipc,
-                    mpki=r.mpki,
-                    average_load_latency=r.average_load_latency,
-                    bubbles_per_branch=r.branch.bubbles_per_branch,
-                    cpi_base=stack["base"],
-                    cpi_mispredict=stack["mispredict"],
-                    cpi_frontend=stack["frontend_bubbles"],
-                    cpi_memory=stack["memory"],
-                )
-            )
-    _CACHE[key] = result
-    return result
+from ..engine.results import PopulationResult, SliceMetrics  # noqa: F401
+from ..engine.runner import run_population  # noqa: F401
+from ..traces import Trace
 
 
 def to_csv(result: PopulationResult) -> str:
     """Serialise a population run as CSV (one row per slice x generation),
-    for external plotting/analysis tools."""
+    for external plotting/analysis tools.  Includes the interval-model
+    CPI-stack columns (Section XI attribution)."""
     lines = ["trace,family,generation,ipc,mpki,avg_load_latency,"
-             "bubbles_per_branch"]
+             "bubbles_per_branch,cpi_base,cpi_mispredict,cpi_frontend,"
+             "cpi_memory"]
     for m in result.metrics:
         lines.append(
             f"{m.trace_name},{m.family},{m.generation},{m.ipc:.4f},"
             f"{m.mpki:.4f},{m.average_load_latency:.4f},"
-            f"{m.bubbles_per_branch:.4f}"
+            f"{m.bubbles_per_branch:.4f},{m.cpi_base:.4f},"
+            f"{m.cpi_mispredict:.4f},{m.cpi_frontend:.4f},"
+            f"{m.cpi_memory:.4f}"
         )
     return "\n".join(lines) + "\n"
 

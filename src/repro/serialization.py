@@ -1,8 +1,12 @@
-"""GenerationConfig serialization (JSON-compatible dicts).
+"""Config and result serialization (JSON-compatible dicts).
 
-Lets external tools consume the Table I data, and lets design-exploration
+Lets external tools consume the Table I data, lets design-exploration
 scripts persist hypothetical configurations (see
-``examples/design_exploration.py``).
+``examples/design_exploration.py``), and gives the execution engine its
+wire/cache formats: worker payloads ship configs via
+:func:`config_to_dict`, and the disk cache stores
+:class:`~repro.engine.results.SliceMetrics` rows via
+:func:`metrics_to_dict` / :func:`metrics_from_dict`.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from .config import (
     MemoryLatencyConfig,
     PrefetchConfig,
     TlbConfig,
+    config_fingerprint,  # noqa: F401  (re-export: cache-key helper)
 )
 
 _NESTED_TYPES = {
@@ -69,3 +74,47 @@ def config_from_json(text: str) -> GenerationConfig:
     import json
 
     return config_from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Population results (the engine's cache payload format)
+# ---------------------------------------------------------------------------
+
+def metrics_to_dict(metrics: "Any") -> Dict[str, Any]:
+    """One :class:`~repro.engine.results.SliceMetrics` row as a plain
+    dict (JSON-safe: every field is a str or float)."""
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> "Any":
+    """Rebuild a :class:`~repro.engine.results.SliceMetrics` row
+    (raises ``TypeError`` on unknown/missing fields)."""
+    from .engine.results import SliceMetrics
+
+    return SliceMetrics(**data)
+
+
+def population_to_dict(population: "Any") -> Dict[str, Any]:
+    """A whole :class:`~repro.engine.results.PopulationResult` as plain
+    dicts, for JSON export or archival of a population run."""
+    return {"metrics": [metrics_to_dict(m) for m in population.metrics]}
+
+
+def population_from_dict(data: Dict[str, Any]) -> "Any":
+    from .engine.results import PopulationResult
+
+    return PopulationResult(
+        metrics=[metrics_from_dict(m) for m in data["metrics"]])
+
+
+def population_to_json(population: "Any",
+                       indent: Optional[int] = None) -> str:
+    import json
+
+    return json.dumps(population_to_dict(population), indent=indent)
+
+
+def population_from_json(text: str) -> "Any":
+    import json
+
+    return population_from_dict(json.loads(text))

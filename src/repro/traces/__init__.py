@@ -21,10 +21,13 @@ from .types import (  # noqa: F401
 )
 from .generator import ProgramWalker, generate_trace  # noqa: F401
 from .program import Program  # noqa: F401
+from .spec import TraceSpec, coerce_spec  # noqa: F401
 from .workloads import (  # noqa: F401
     FAMILIES,
     SUITE_WEIGHTS,
     cbp5_suite,
+    cbp5_suite_specs,
     make_trace,
     standard_suite,
+    standard_suite_specs,
 )

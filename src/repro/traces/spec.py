@@ -1,0 +1,59 @@
+"""Picklable trace specifications.
+
+A :class:`TraceSpec` names a trace without materializing it: the
+``(family, seed, n_instructions)`` triple fully determines the synthetic
+program and the walk through it, so a spec can be shipped to a worker
+process (or hashed into a cache key) and the trace regenerated there —
+a few dozen bytes on the wire instead of tens of thousands of
+:class:`~repro.traces.types.TraceRecord` objects.
+
+``repro.engine`` runs entirely on specs; :func:`~repro.traces.workloads
+.standard_suite` is now a thin ``[spec.build() for spec in ...]`` wrapper
+so the materialized and spec-level views of a population can never drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .types import Trace
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A deterministic recipe for one trace slice."""
+
+    family: str
+    seed: int
+    n_instructions: int = 20_000
+
+    def build(self) -> Trace:
+        """Materialize the trace (identical output for identical specs)."""
+        from .workloads import make_trace  # local: workloads imports us
+
+        return make_trace(self.family, seed=self.seed,
+                          n_instructions=self.n_instructions)
+
+    def key(self) -> Tuple[str, int, int]:
+        """Stable tuple identity, for dict keys and fingerprints."""
+        return (self.family, self.seed, self.n_instructions)
+
+    def to_dict(self) -> dict:
+        return {"family": self.family, "seed": self.seed,
+                "n_instructions": self.n_instructions}
+
+
+TraceLike = Union[Trace, TraceSpec, Tuple]
+
+
+def coerce_spec(value: TraceLike) -> TraceSpec:
+    """Accept a :class:`TraceSpec` or a ``(family, seed[, length])`` tuple."""
+    if isinstance(value, TraceSpec):
+        return value
+    if isinstance(value, tuple) and 2 <= len(value) <= 3:
+        return TraceSpec(*value)
+    raise TypeError(
+        f"cannot interpret {value!r} as a trace spec; expected TraceSpec "
+        "or (family, seed[, n_instructions])"
+    )

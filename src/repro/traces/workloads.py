@@ -40,6 +40,7 @@ import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .generator import generate_trace
+from .spec import TraceSpec
 from .program import (
     AlwaysTaken,
     BasicBlock,
@@ -702,6 +703,24 @@ def make_trace(family: str, seed: int = 0,
                           name=f"{family}-{seed}", family=family)
 
 
+def standard_suite_specs(n_slices: int = 64, slice_length: int = 20_000,
+                         seed: int = 2020) -> List[TraceSpec]:
+    """The standard population as picklable specs (see
+    :class:`~repro.traces.spec.TraceSpec`): the weighted, seeded family
+    mix without materializing any trace.  ``repro.engine`` ships these to
+    worker processes and hashes them into cache keys."""
+    expanded: List[str] = []
+    for family, weight in SUITE_WEIGHTS.items():
+        expanded.extend([family] * weight)
+    rng = random.Random(seed)
+    specs: List[TraceSpec] = []
+    for i in range(n_slices):
+        family = expanded[i % len(expanded)]
+        slice_seed = rng.randrange(1 << 30)
+        specs.append(TraceSpec(family, slice_seed, slice_length))
+    return specs
+
+
 def standard_suite(n_slices: int = 64, slice_length: int = 20_000,
                    seed: int = 2020) -> List[Trace]:
     """The cross-generation evaluation population.
@@ -711,29 +730,32 @@ def standard_suite(n_slices: int = 64, slice_length: int = 20_000,
     ``slice_length`` micro-ops, which preserves the population *shape*
     (Figures 9/16/17) at laptop scale.
     """
-    expanded: List[str] = []
-    for family, weight in SUITE_WEIGHTS.items():
-        expanded.extend([family] * weight)
+    return [spec.build()
+            for spec in standard_suite_specs(n_slices, slice_length, seed)]
+
+
+def cbp5_suite_specs(n_traces: int = 12, trace_length: int = 30_000,
+                     seed: int = 5) -> List[TraceSpec]:
+    """The Figure 1 population as picklable specs.
+
+    Specs rebuild via :func:`make_trace`, so trace *names* follow the
+    ``cbp5_like-<seed>`` convention rather than :func:`cbp5_suite`'s
+    ``cbp5-<i>`` labels; the records (and therefore every metric) are
+    identical."""
     rng = random.Random(seed)
-    traces: List[Trace] = []
-    for i in range(n_slices):
-        family = expanded[i % len(expanded)]
-        slice_seed = rng.randrange(1 << 30)
-        traces.append(make_trace(family, seed=slice_seed,
-                                 n_instructions=slice_length))
-    return traces
+    return [TraceSpec("cbp5_like", rng.randrange(1 << 30), trace_length)
+            for _ in range(n_traces)]
 
 
 def cbp5_suite(n_traces: int = 12, trace_length: int = 30_000,
                seed: int = 5) -> List[Trace]:
     """The Figure 1 population: conditional-branch-correlation traces."""
-    rng = random.Random(seed)
+    specs = cbp5_suite_specs(n_traces, trace_length, seed)
     traces = []
-    for i in range(n_traces):
-        s = rng.randrange(1 << 30)
-        program = cbp5_like(s)
+    for i, spec in enumerate(specs):
+        program = cbp5_like(spec.seed)
         traces.append(
-            generate_trace(program, trace_length, seed=s,
+            generate_trace(program, trace_length, seed=spec.seed,
                            name=f"cbp5-{i}", family="cbp5_like")
         )
     return traces
