@@ -16,6 +16,9 @@ Commands:
     Compose every table and population figure into one document.
 ``families``
     List the available workload families.
+``lint``
+    Run simlint, the determinism & simulation-safety static analysis
+    (rule catalog in ``docs/analysis.md``), over the given paths.
 
 Population-statistic commands (``tables``/``population``/``fig1``/
 ``report``) run through :mod:`repro.engine`: ``--workers N`` shards the
@@ -36,7 +39,7 @@ from .engine import run as run_one
 from .traces import FAMILIES, TraceSpec
 
 
-def _engine_kwargs(args: argparse.Namespace) -> dict:
+def _engine_kwargs(args: argparse.Namespace) -> dict[str, object]:
     """Engine knobs shared by the population-statistic commands."""
     return {
         "workers": args.workers,
@@ -153,6 +156,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint_command
+    return run_lint_command(args)
+
+
 def _cmd_families(args: argparse.Namespace) -> int:
     for name in sorted(FAMILIES):
         doc = (FAMILIES[name].__doc__ or "").strip().splitlines()
@@ -208,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     fam = sub.add_parser("families", help="list workload families")
     fam.set_defaults(func=_cmd_families)
+
+    lint = sub.add_parser(
+        "lint", help="simlint: determinism & simulation-safety checks")
+    from .analysis.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return p
 
 

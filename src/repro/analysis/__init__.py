@@ -1,0 +1,50 @@
+"""simlint — determinism & simulation-safety static analysis.
+
+The execution engine promises two things the rest of the package must
+uphold by convention: parallel runs are bit-identical to serial runs,
+and the content-addressed disk cache never aliases two distinct
+configurations.  This package turns those conventions into machine-
+checked rules over the repository's own source:
+
+======  ===========================  =======================================
+id      name                         hazard
+======  ===========================  =======================================
+SIM001  unseeded-random              process-global RNG state in results
+SIM002  wall-clock                   timestamps outside engine stats
+SIM003  builtin-hash                 PYTHONHASHSEED-salted hash() values
+SIM004  set-order                    hash-order iteration / accumulation
+SIM005  mutable-default              state shared across calls
+SIM006  cache-key-completeness       config fields missing from cache keys
+SIM007  broad-except                 swallowed errors cached as results
+SIM008  unsafe-serialization         pickle/eval outside serialization.py
+SIM009  bare-container-annotation    untyped list/dict/set annotations
+======  ===========================  =======================================
+
+Entry points: ``python -m repro lint`` (CLI), :func:`run_lint`
+(programmatic), :func:`lint_source` (one snippet, for tests and editor
+hooks).  Configuration lives in ``[tool.simlint]`` in ``pyproject.toml``;
+see ``docs/analysis.md`` for the rule catalog and workflows.
+"""
+
+from .config import LintConfig, load_config
+from .core import (ASTRule, FileContext, Finding, LintResult, ProjectRule,
+                   Rule, lint_source, run_lint)
+from .registry import all_rules, get_rule
+from .reporters import render_human, render_json
+
+__all__ = [
+    "ASTRule",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "load_config",
+    "render_human",
+    "render_json",
+    "run_lint",
+]

@@ -1,0 +1,84 @@
+"""Baseline file: grandfathered findings that do not fail the lint.
+
+A baseline lets simlint be adopted on a codebase with pre-existing
+findings and then ratchet: baselined findings are reported but do not
+affect the exit code, while anything *new* fails.  This repository ships
+with an empty baseline — every finding was fixed rather than
+grandfathered — so the file mostly documents the workflow.
+
+Keys are content-based, not line-based: ``sha256(rule | path |
+stripped source line | occurrence-index)`` truncated to 16 hex chars, so
+unrelated edits that shift line numbers do not invalidate entries, while
+editing the flagged line itself does (the finding must then be re-judged
+or re-baselined).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .core import Finding
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: "Finding", occurrence: int) -> str:
+    """Stable identity of one finding (see module docstring)."""
+    payload = "|".join((finding.rule, finding.path,
+                        finding.snippet.strip(), str(occurrence)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of grandfathered keys (empty for a missing/invalid file)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return set()
+    if not isinstance(data, dict):
+        return set()
+    entries = data.get("entries", [])
+    keys: Set[str] = set()
+    for entry in entries:
+        if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+            keys.add(entry["key"])
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence["Finding"]) -> int:
+    """Persist ``findings`` as the new baseline; returns the entry count.
+
+    Entries carry the rule/path/message alongside the key so the file
+    reviews meaningfully in a diff; only the key participates in
+    matching.  The write is atomic (temp file + ``os.replace``), like
+    the engine's disk cache.
+    """
+    entries = [
+        {"rule": f.rule, "path": f.path, "line": f.line,
+         "message": f.message, "key": f.key}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload: Dict[str, object] = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "entries": entries,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return len(entries)

@@ -1,0 +1,116 @@
+"""The ``python -m repro lint`` command.
+
+Exit codes:
+
+``0``
+    No new (non-baselined) findings and no parse errors.
+``1``
+    New findings or unparsable files.
+``2``
+    Usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import write_baseline
+from .config import load_config
+from .core import run_lint
+from .registry import all_rules
+from .reporters import render_human, render_json
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to a (sub)parser."""
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the schema-versioned JSON report")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file (default: [tool.simlint] "
+                             "baseline in pyproject.toml)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report every finding "
+                             "as new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather all current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+
+def _split(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand against parsed arguments."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:28s} [{rule.severity}] "
+                  f"{rule.description}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    config = load_config(Path(paths[0]))
+    baseline_path = Path(args.baseline) if args.baseline else None
+    result = run_lint(
+        paths,
+        config=config,
+        select=_split(args.select),
+        ignore=_split(args.ignore),
+        baseline_path=baseline_path,
+        use_baseline=not (args.no_baseline or args.write_baseline),
+    )
+
+    if args.write_baseline:
+        target = baseline_path
+        if target is None:
+            if config.baseline:
+                target = (config.project_root or Path.cwd()) / config.baseline
+            else:  # baselining disabled: write next to the scan root
+                target = Path(paths[0]) / ".simlint-baseline.json"
+        count = write_baseline(target, result.findings)
+        print(f"simlint: wrote {count} baseline entries to {target}")
+        return 0
+
+    try:
+        if args.as_json:
+            print(json.dumps(render_json(result), indent=2, sort_keys=True))
+        else:
+            print(render_human(result))
+    except BrokenPipeError:  # reader (e.g. `| head`) closed early
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="simlint: determinism & simulation-safety lint",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

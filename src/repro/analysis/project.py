@@ -1,0 +1,189 @@
+"""SIM006: cache-key completeness for the engine's result cache.
+
+The disk cache (:mod:`repro.engine.cache`) is invalidated purely by key:
+a result is reused whenever its task fingerprint matches, so any
+generation-config field that the fingerprint does *not* consume lets two
+different configurations alias the same cache entry — silently serving
+one design's results as another's.  This rule closes that hole
+mechanically:
+
+* every field of every config dataclass (``GenerationConfig`` and its
+  nested blocks, discovered via :func:`dataclasses.fields` so new fields
+  are picked up automatically) is perturbed one at a time, and the
+  perturbed config must produce a different
+  :func:`repro.engine.tasks.task_fingerprint`;
+* the same perturbation check runs over ``TraceSpec``;
+* every shipped generation must survive a
+  ``config_from_dict(config_to_dict(c)) == c`` round-trip, which catches
+  a nested dataclass field added without a
+  ``repro.serialization._NESTED_TYPES`` registration.
+
+Unlike the SIM00x AST rules this one imports the live package: it is a
+semantic contract check, triggered only when the scanned files include
+the engine/config modules themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from .config import LintConfig
+from .core import FileContext, Finding, ProjectRule
+
+#: File suffixes whose presence in the scan scope activates the rule.
+_TRIGGER_SUFFIXES = (
+    "repro/engine/cache.py",
+    "repro/engine/tasks.py",
+    "repro/config.py",
+)
+
+
+def _perturbed(value: object) -> object:
+    """A value provably different from ``value`` under JSON encoding."""
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        return value + "~"
+    if isinstance(value, tuple):
+        if value and isinstance(value[0], (int, float)):
+            return (value[0] + 1,) + value[1:]
+        return value + (1,)
+    return None
+
+
+def iter_field_perturbations(config: object, prefix: str = ""
+                             ) -> Iterator[Tuple[str, object]]:
+    """Yield ``(field_path, variant)`` for every (nested) dataclass field.
+
+    ``variant`` is a copy of ``config`` with exactly that one field
+    changed.  ``None``-valued fields are skipped — callers cover them by
+    also passing a base config where the field is populated (e.g. M3,
+    whose L3/L1.5D-TLB exist).
+    """
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        path = prefix + f.name
+        if value is None:
+            continue
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for subpath, nested in iter_field_perturbations(value,
+                                                           path + "."):
+                yield subpath, dataclasses.replace(config, **{f.name: nested})
+        else:
+            new = _perturbed(value)
+            if new is None:
+                continue  # unsupported leaf type: reported by caller
+            yield path, dataclasses.replace(config, **{f.name: new})
+
+
+def uncovered_fields(configs: Sequence[object],
+                     fingerprint: Callable[[object], str]) -> List[str]:
+    """Field paths whose perturbation never changes the fingerprint.
+
+    A field passes if, in at least one base config where it could be
+    perturbed, the fingerprint changed; it fails if every perturbation
+    left the fingerprint identical — i.e. the cache key does not consume
+    it and two configs differing only there would alias cache entries.
+    """
+    covered: Dict[str, bool] = {}
+    for config in configs:
+        base = fingerprint(config)
+        for path, variant in iter_field_perturbations(config):
+            changed = fingerprint(variant) != base
+            covered[path] = covered.get(path, False) or changed
+    return sorted(path for path, ok in covered.items() if not ok)
+
+
+class CacheKeyCompletenessRule(ProjectRule):
+    """SIM006: every config/spec field must reach the task fingerprint."""
+
+    id = "SIM006"
+    name = "cache-key-completeness"
+    severity = "error"
+    description = ("a generation-config or trace-spec field is not "
+                   "consumed by the engine cache fingerprint")
+
+    def _anchor(self, ctxs: Sequence[FileContext],
+                suffix: str, symbol: str) -> Tuple[str, int]:
+        """Attribute findings to the definition they indict."""
+        for ctx in ctxs:
+            if ctx.relpath.endswith(suffix):
+                for i, text in enumerate(ctx.lines, start=1):
+                    if symbol in text:
+                        return ctx.relpath, i
+                return ctx.relpath, 1
+        return suffix, 1
+
+    def _finding_at(self, path: str, line: int, message: str) -> Finding:
+        return Finding(rule=self.id, severity=self.severity, path=path,
+                       line=line, col=0, message=message)
+
+    def check_project(self, ctxs: Sequence[FileContext],
+                      config: LintConfig) -> Iterable[Finding]:
+        if not any(ctx.relpath.endswith(_TRIGGER_SUFFIXES) for ctx in ctxs):
+            return []
+        try:
+            return list(self._check(ctxs))
+        except Exception as exc:
+            # Deliberately broad (legal outside strict_except_paths):
+            # surface harness breakage as a finding rather than crashing
+            # the whole lint run — the lint must stay usable mid-refactor.
+            path, line = self._anchor(ctxs, "repro/engine/tasks.py",
+                                      "def task_fingerprint")
+            return [self._finding_at(
+                path, line,
+                f"SIM006 could not evaluate the engine fingerprint "
+                f"({type(exc).__name__}: {exc})")]
+
+    def _check(self, ctxs: Sequence[FileContext]) -> Iterator[Finding]:
+        from .. import config as config_mod
+        from ..engine.tasks import population_task, task_fingerprint
+        from ..serialization import config_from_dict, config_to_dict
+        from ..traces.spec import TraceSpec
+
+        fp_path, fp_line = self._anchor(ctxs, "repro/engine/tasks.py",
+                                        "def task_fingerprint")
+        spec = TraceSpec("specint_like", 1, 1024)
+
+        def config_fp(cfg: object) -> str:
+            return task_fingerprint(population_task(cfg, spec))
+
+        # M1 (baseline), M3 (L3 + L1.5D TLB populated) and M6 (every
+        # late-generation feature on) jointly populate every Optional.
+        bases = [config_mod.M1, config_mod.M3, config_mod.M6]
+        for path in uncovered_fields(bases, config_fp):
+            yield self._finding_at(
+                fp_path, fp_line,
+                f"generation-config field `{path}` does not change the "
+                "engine task fingerprint: two configs differing only "
+                "there would alias one cache entry")
+
+        def spec_fp(s: object) -> str:
+            return task_fingerprint(population_task(config_mod.M1, s))
+
+        for path in uncovered_fields([spec], spec_fp):
+            yield self._finding_at(
+                fp_path, fp_line,
+                f"trace-spec field `{path}` does not change the engine "
+                "task fingerprint: two traces differing only there would "
+                "alias one cache entry")
+
+        ser_path, ser_line = self._anchor(ctxs, "repro/serialization.py",
+                                          "_NESTED_TYPES")
+        for name in config_mod.GENERATION_ORDER:
+            cfg = config_mod.get_generation(name)
+            rebuilt = config_from_dict(config_to_dict(cfg))
+            if rebuilt != cfg:
+                yield self._finding_at(
+                    ser_path, ser_line,
+                    f"config_from_dict(config_to_dict({name})) != {name}: "
+                    "a nested config field is missing from "
+                    "repro.serialization._NESTED_TYPES")
+
+
+PROJECT_RULES = (CacheKeyCompletenessRule(),)

@@ -1,0 +1,458 @@
+"""The per-file AST rules (SIM001-SIM005, SIM007-SIM009).
+
+Each rule targets a hazard this codebase actually depends on avoiding:
+the engine's bit-identical parallel-vs-serial guarantee and its
+content-addressed disk cache (see :mod:`repro.engine`) survive only if
+simulation code is a pure function of explicit seeds and configs.
+SIM006, the cache-key completeness check, is a whole-project rule and
+lives in :mod:`repro.analysis.project`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .config import LintConfig, path_matches
+from .core import ASTRule, FileContext, Finding
+
+#: ``random`` module functions that draw from the hidden global RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+#: Wall-clock reads: values that differ between two identical runs.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.localtime",
+    "time.gmtime", "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Modules whose import signals unsafe/implicit serialization.
+_UNSAFE_SERIALIZATION_MODULES = frozenset({
+    "pickle", "cPickle", "_pickle", "dill", "shelve", "marshal",
+})
+
+#: Bare-container annotation targets: builtins and their typing aliases.
+_BARE_BUILTIN_CONTAINERS = frozenset({
+    "list", "dict", "set", "tuple", "frozenset",
+})
+_BARE_TYPING_CONTAINERS = frozenset({
+    "typing.List", "typing.Dict", "typing.Set", "typing.Tuple",
+    "typing.FrozenSet", "typing.DefaultDict", "typing.OrderedDict",
+    "typing.Deque", "typing.Counter",
+    "collections.OrderedDict", "collections.defaultdict",
+    "collections.deque", "collections.Counter",
+})
+
+#: Order-sensitive consumers of an iterable (``sorted``/``min``/``max``/
+#: ``len``/``any``/``all`` are order-insensitive and stay legal).
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "sum", "enumerate"})
+
+
+def _is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.qualname(node.func) in {"set", "frozenset"}
+    return False
+
+
+def _is_values_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "values"
+            and not node.args and not node.keywords)
+
+
+class UnseededRandomRule(ASTRule):
+    """SIM001: randomness must come from an explicitly seeded generator.
+
+    The module-level ``random.*`` functions share one hidden
+    interpreter-global state: results then depend on call order across
+    the whole process, import side effects, and which worker executed
+    the task — breaking the engine's bit-identical guarantee.  The
+    sanctioned pattern is ``random.Random(seed)`` threaded explicitly,
+    as :class:`repro.traces.generator.ProgramWalker` does.
+    """
+
+    id = "SIM001"
+    name = "unseeded-random"
+    severity = "error"
+    description = ("global/unseeded random usage; construct "
+                   "random.Random(seed) and thread it explicitly")
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = ctx.qualname(node.func)
+            if qn is None:
+                continue
+            if qn.startswith("random.") and \
+                    qn.split(".", 1)[1] in _GLOBAL_RANDOM_FUNCS:
+                yield self.finding(
+                    ctx, node,
+                    f"{qn}() draws from the process-global RNG; use an "
+                    "explicitly seeded random.Random(seed) instance")
+            elif qn == "random.Random" and not node.args and \
+                    not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "random.Random() without a seed falls back to OS "
+                    "entropy; pass an explicit seed")
+            elif qn == "random.SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "random.SystemRandom is inherently non-deterministic; "
+                    "simulation code must use random.Random(seed)")
+
+
+class WallClockRule(ASTRule):
+    """SIM002: no wall-clock reads outside the engine-stats allowlist.
+
+    A timestamp that leaks into a result, a cache payload, or a control
+    decision makes two identical runs differ.  Throughput accounting in
+    ``engine/runner.py`` is the only sanctioned consumer (configured via
+    ``wallclock_allow`` in ``[tool.simlint]``).
+    """
+
+    id = "SIM002"
+    name = "wall-clock"
+    severity = "error"
+    description = ("wall-clock read outside the allowlist; timing belongs "
+                   "in engine stats only")
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        if path_matches(ctx.relpath, config.wallclock_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qn = ctx.qualname(node.func)
+            if qn in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{qn}() reads the wall clock; simulation results must "
+                    "be pure functions of seeds and configs (allowlist: "
+                    "wallclock_allow in [tool.simlint])")
+
+
+class BuiltinHashRule(ASTRule):
+    """SIM003: builtin ``hash()`` is process-salted for str/bytes.
+
+    With ``PYTHONHASHSEED`` unset, ``hash("x")`` differs between worker
+    processes and between CLI invocations — any cache key, table index,
+    or tie-break derived from it silently destroys cross-process result
+    identity.  Seeded helpers (``repro.frontend.history.pc_hash``,
+    ``fold_bits``, ``mix_segment``) or ``hashlib`` are the sanctioned
+    paths.
+    """
+
+    id = "SIM003"
+    name = "builtin-hash"
+    severity = "error"
+    description = ("builtin hash() is salted per process; use "
+                   "repro.frontend.history helpers or hashlib")
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.qualname(node.func) == "hash":
+                yield self.finding(
+                    ctx, node,
+                    "builtin hash() is salted per process for str/bytes "
+                    "(PYTHONHASHSEED); use repro.frontend.history.pc_hash/"
+                    "fold_bits or hashlib for stable hashing")
+
+
+class SetOrderRule(ASTRule):
+    """SIM004: set iteration order must never feed ordered results.
+
+    Set iteration order depends on element hashes — salted per process
+    for strings — so materializing or accumulating a set (``list(s)``,
+    ``sum(s)``, ``for x in s`` appending) is non-reproducible across
+    workers.  ``sorted(s)`` and pure membership tests stay legal.  The
+    rule also flags ``sum(d.values())``: float accumulation order then
+    tracks dict insertion history; ``math.fsum`` (exact, order-free) or
+    summing over an explicit ordering is the sanctioned form.
+    """
+
+    id = "SIM004"
+    name = "set-order"
+    severity = "error"
+    description = ("iteration/accumulation over an unordered container; "
+                   "wrap in sorted() or use math.fsum")
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, ctx):
+                    yield self.finding(
+                        ctx, node.iter,
+                        "iterating a set has hash-dependent order; iterate "
+                        "sorted(...) instead")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, ctx):
+                        yield self.finding(
+                            ctx, gen.iter,
+                            "comprehension over a set has hash-dependent "
+                            "order; iterate sorted(...) instead")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext,
+                    node: ast.Call) -> Iterable[Finding]:
+        qn = ctx.qualname(node.func)
+        first = node.args[0] if node.args else None
+        if first is None:
+            return
+        if qn in _ORDER_SENSITIVE_CONSUMERS and _is_set_expr(first, ctx):
+            yield self.finding(
+                ctx, node,
+                f"{qn}() over a set depends on hash order; wrap the set "
+                "in sorted() first")
+        elif qn == "sum" and _is_values_call(first):
+            yield self.finding(
+                ctx, node,
+                "sum() over dict .values() ties float accumulation order "
+                "to insertion history; use math.fsum (exact, order-"
+                "independent) or sum over sorted(d.items())")
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "join" and _is_set_expr(first, ctx):
+            yield self.finding(
+                ctx, node,
+                "str.join over a set depends on hash order; join "
+                "sorted(...) instead")
+
+
+class MutableDefaultRule(ASTRule):
+    """SIM005: mutable default arguments.
+
+    A mutable default is shared across every call of the function — in a
+    simulator that means state leaking between supposedly independent
+    runs, the exact aliasing the engine's task isolation exists to
+    prevent.
+    """
+
+    id = "SIM005"
+    name = "mutable-default"
+    severity = "error"
+    description = "mutable default argument; default to None and allocate "\
+                  "inside the function"
+
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.OrderedDict",
+        "collections.deque", "collections.Counter",
+    })
+
+    def _is_mutable(self, node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.qualname(node.func) in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default, ctx):
+                    yield self.finding(
+                        ctx, default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and allocate per call")
+
+
+class BroadExceptRule(ASTRule):
+    """SIM007: bare/broad exception handlers in correctness-critical code.
+
+    A swallowed exception in the engine or the serialization layer turns
+    a task failure into a silently wrong (and then *cached*) result.
+    Bare ``except:`` is illegal everywhere; ``except Exception`` /
+    ``except BaseException`` are additionally illegal under the
+    ``strict_except_paths`` from ``[tool.simlint]``.
+    """
+
+    id = "SIM007"
+    name = "broad-except"
+    severity = "error"
+    description = "bare/broad except; catch the specific exceptions the "\
+                  "operation can raise"
+
+    def _broad_names(self, handler_type: Optional[ast.AST],
+                     ctx: FileContext) -> List[str]:
+        if handler_type is None:
+            return []
+        nodes = (handler_type.elts if isinstance(handler_type, ast.Tuple)
+                 else [handler_type])
+        return [qn for qn in (ctx.qualname(n) for n in nodes)
+                if qn in ("Exception", "BaseException")]
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        strict = path_matches(ctx.relpath, config.strict_except_paths)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare except: swallows every error including "
+                    "KeyboardInterrupt; name the exceptions")
+            elif strict:
+                for qn in self._broad_names(node.type, ctx):
+                    yield self.finding(
+                        ctx, node,
+                        f"except {qn} in an engine/serialization module "
+                        "can cache a wrong result as a right one; catch "
+                        "specific exceptions")
+
+
+class UnsafeSerializationRule(ASTRule):
+    """SIM008: pickle/eval-class constructs outside the serialization module.
+
+    The engine's cache and wire formats are intentionally JSON-only:
+    pickle payloads are version-fragile (silently invalidating or, worse,
+    mis-reading cache entries across releases) and ``eval``/``exec`` on
+    anything derived from disk is an injection hazard.  The allowlist
+    (``serialization_allow``) names the one module permitted to own
+    serialization decisions.
+    """
+
+    id = "SIM008"
+    name = "unsafe-serialization"
+    severity = "error"
+    description = "pickle/marshal/eval outside the serialization module"
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        if path_matches(ctx.relpath, config.serialization_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in _UNSAFE_SERIALIZATION_MODULES:
+                        yield self.finding(
+                            ctx, node,
+                            f"import {alias.name}: cache/wire formats are "
+                            "JSON-only; route serialization through "
+                            "repro.serialization")
+            elif isinstance(node, ast.ImportFrom):
+                top = (node.module or "").split(".")[0]
+                if not node.level and top in _UNSAFE_SERIALIZATION_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"from {node.module} import ...: cache/wire formats "
+                        "are JSON-only; route serialization through "
+                        "repro.serialization")
+            elif isinstance(node, ast.Call):
+                qn = ctx.qualname(node.func)
+                if qn in ("eval", "exec"):
+                    yield self.finding(
+                        ctx, node,
+                        f"{qn}() on constructed input; use ast.literal_eval "
+                        "or an explicit parser")
+
+
+class BareContainerAnnotationRule(ASTRule):
+    """SIM009: container annotations must state their element types.
+
+    ``episode_lengths: list = []`` documents nothing and hides exactly
+    the aliasing/ordering mistakes SIM004/SIM005 exist to catch; spell
+    it ``list[int]``.  The rule checks variable annotations, function
+    parameters and return types, including containers nested inside an
+    un-subscripted position (``Dict[tuple, X]``) and quoted annotations.
+    """
+
+    id = "SIM009"
+    name = "bare-container-annotation"
+    severity = "warning"
+    description = "bare list/dict/set/tuple annotation; add element types"
+
+    def _bare_containers(self, annotation: ast.AST,
+                         ctx: FileContext) -> List[ast.AST]:
+        # A quoted annotation ("OrderedDict[tuple, Trace]") arrives as a
+        # string constant: parse it so the same check applies.
+        if isinstance(annotation, ast.Constant) and \
+                isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return []
+            found = self._bare_containers(parsed, ctx)
+            # Report at the location of the quoted annotation itself.
+            return [annotation] if found else []
+        subscripted = set()
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Subscript):
+                subscripted.add(id(node.value))
+        bare: List[ast.AST] = []
+        for node in ast.walk(annotation):
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            if id(node) in subscripted:
+                continue
+            qn = ctx.qualname(node)
+            if qn in _BARE_BUILTIN_CONTAINERS or \
+                    qn in _BARE_TYPING_CONTAINERS:
+                bare.append(node)
+        return bare
+
+    def _iter_annotations(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                yield node.annotation
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                            args.vararg, args.kwarg):
+                    if arg is not None and arg.annotation is not None:
+                        yield arg.annotation
+                if node.returns is not None:
+                    yield node.returns
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        for annotation in self._iter_annotations(ctx.tree):
+            for node in self._bare_containers(annotation, ctx):
+                label = ast.dump(node) if not hasattr(ast, "unparse") \
+                    else ast.unparse(node)
+                yield self.finding(
+                    ctx, node if hasattr(node, "lineno") else annotation,
+                    f"bare container annotation `{label}`; state the "
+                    "element types (e.g. list[int], Dict[str, float])")
+
+
+AST_RULES = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    BuiltinHashRule(),
+    SetOrderRule(),
+    MutableDefaultRule(),
+    BroadExceptRule(),
+    UnsafeSerializationRule(),
+    BareContainerAnnotationRule(),
+)

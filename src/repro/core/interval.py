@@ -42,7 +42,7 @@ class IntervalBreakdown:
             if self.total_cycles else 0.0
 
     @property
-    def cpi_stack(self) -> dict:
+    def cpi_stack(self) -> dict[str, float]:
         """The classic CPI-stack view (fractions of total cycles)."""
         t = self.total_cycles or 1.0
         return {

@@ -22,7 +22,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..config import (GENERATION_ORDER, GenerationConfig, get_generation)
-from ..traces.spec import TraceSpec, coerce_spec
+from ..traces.spec import TraceLike, TraceSpec, coerce_spec
 from ..traces.types import Trace
 from ..traces.workloads import standard_suite_specs
 from .cache import TaskCache, clear_memory
@@ -150,7 +150,8 @@ class PopulationEngine:
 #: successor of the old ``harness.population._CACHE`` module global.
 #: Lets several benches share one ``PopulationResult`` *object* within a
 #: process, on top of the per-task result cache.
-_POPULATION_MEMO: Dict[tuple, PopulationResult] = {}
+_PopulationKey = Tuple[int, int, int, Tuple[str, ...]]
+_POPULATION_MEMO: Dict[_PopulationKey, PopulationResult] = {}
 
 
 def clear_caches() -> None:
@@ -245,7 +246,7 @@ def run_population(
 # Single-run entry point
 # ---------------------------------------------------------------------------
 
-def run(trace_or_spec: Union[Trace, TraceSpec, tuple],
+def run(trace_or_spec: TraceLike,
         generation: Union[str, GenerationConfig], *,
         corunners: int = 0):
     """Simulate one trace on one generation — the one-stop entry point.

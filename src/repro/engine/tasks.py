@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import OrderedDict
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 from .. import __version__
 from ..config import GenerationConfig
@@ -79,7 +79,7 @@ def task_fingerprint(payload: Dict[str, Any]) -> str:
 #: Per-process memo of recently built traces.  Tasks are submitted
 #: trace-major (all generations of a trace adjacent), so a small LRU lets
 #: a worker regenerate each trace once instead of once per generation.
-_TRACE_MEMO: "OrderedDict[tuple, Trace]" = OrderedDict()
+_TRACE_MEMO: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
 _TRACE_MEMO_CAP = 16
 
 

@@ -87,7 +87,7 @@ class MicroBTB:
         #: episodes — the M5 zero-bubble arbiter's signal (Section IV-E).
         #: Measured from observation, not served predictions, so an
         #: arbiter suppressing the uBTB cannot poison its own input.
-        self.episode_lengths: list = []
+        self.episode_lengths: list[int] = []
         self._lock_branches = 0
 
     # -- node management --------------------------------------------------------

@@ -16,7 +16,7 @@ degree scaling and two-pass exist — without a full event queue.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config import GenerationConfig
 from ..power import EnergyLedger
@@ -133,7 +133,7 @@ class MemoryHierarchy:
         #: cycle).  The two-pass scheme stages data in the L2 before the
         #: second pass fills the L1, so a demand access racing the fill
         #: pays at most the residual-to-L2 plus an L2 access.
-        self._inflight: Dict[int, tuple] = {}
+        self._inflight: Dict[int, Tuple[float, float]] = {}
 
     # -- helpers ------------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from .types import Kind, Trace, TraceRecord
 _FORMAT_VERSION = 1
 
 
-def _encode_record(r: TraceRecord) -> List:
+def _encode_record(r: TraceRecord) -> List[int]:
     full = [r.pc, int(r.kind), 1 if r.taken else 0, r.target, r.addr,
             r.src1_dist, r.src2_dist]
     while len(full) > 2 and not full[-1]:
@@ -28,7 +28,7 @@ def _encode_record(r: TraceRecord) -> List:
     return full
 
 
-def _decode_record(cells: List) -> TraceRecord:
+def _decode_record(cells: List[int]) -> TraceRecord:
     pc, kind = cells[0], Kind(cells[1])
     taken = bool(cells[2]) if len(cells) > 2 else False
     target = cells[3] if len(cells) > 3 else 0

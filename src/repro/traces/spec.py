@@ -39,12 +39,12 @@ class TraceSpec:
         """Stable tuple identity, for dict keys and fingerprints."""
         return (self.family, self.seed, self.n_instructions)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"family": self.family, "seed": self.seed,
                 "n_instructions": self.n_instructions}
 
 
-TraceLike = Union[Trace, TraceSpec, Tuple]
+TraceLike = Union[Trace, TraceSpec, Tuple[str, int], Tuple[str, int, int]]
 
 
 def coerce_spec(value: TraceLike) -> TraceSpec:
