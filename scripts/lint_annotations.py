@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Turn a simlint JSON report into GitHub Actions annotations.
+
+Reads the schema-versioned document emitted by ``python -m repro lint
+--json`` (stdin, or a file argument) and prints one workflow command per
+finding::
+
+    ::error file=src/repro/x.py,line=12,col=5,title=simlint SIM001::...
+
+GitHub renders these as inline annotations on the PR diff.  Baselined
+findings are surfaced as notices (visible but non-blocking); new
+findings map to their severity; parse errors are always errors.  The
+exit code mirrors the lint verdict — 0 when the report says ``ok``,
+1 otherwise — so the CI step both annotates and fails.  Used by the
+simlint job in ``.github/workflows/ci.yml``; also handy locally::
+
+    PYTHONPATH=src python -m repro lint --json src | \
+        python scripts/lint_annotations.py
+"""
+
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+#: simlint severity -> GitHub workflow-command level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def escape_data(value: str) -> str:
+    """Escape a workflow-command *message* (the part after ``::``)."""
+    return (value.replace("%", "%25")
+                 .replace("\r", "%0D")
+                 .replace("\n", "%0A"))
+
+
+def escape_property(value: str) -> str:
+    """Escape a workflow-command *property* (``file=``, ``title=``...)."""
+    return (escape_data(value).replace(":", "%3A")
+                              .replace(",", "%2C"))
+
+
+def annotation(level: str, message: str, *, file: str = "",
+               line: int = 0, col: int = 0, title: str = "") -> str:
+    props = []
+    if file:
+        props.append(f"file={escape_property(file)}")
+    if line:
+        props.append(f"line={line}")
+    if col:
+        props.append(f"col={col}")
+    if title:
+        props.append(f"title={escape_property(title)}")
+    head = f"::{level} " + ",".join(props) if props else f"::{level}"
+    return f"{head}::{escape_data(message)}"
+
+
+def render(report: dict[str, object]) -> tuple[list[str], bool]:
+    """All annotation lines for ``report``, plus its ok verdict."""
+    version = report.get("version")
+    if version != SUPPORTED_SCHEMA:
+        raise ValueError(
+            f"unsupported simlint report schema {version!r} "
+            f"(this script understands {SUPPORTED_SCHEMA})")
+    lines = []
+    for f in report.get("findings", []):
+        if f.get("baselined"):
+            level = "notice"
+            title = f"simlint {f['rule']} (baselined)"
+        else:
+            level = _LEVELS.get(f.get("severity"), "warning")
+            title = f"simlint {f['rule']}"
+        lines.append(annotation(level, f["message"], file=f["path"],
+                                line=f.get("line", 0), col=f.get("col", 0),
+                                title=title))
+    for err in report.get("parse_errors", []):
+        lines.append(annotation("error", str(err), title="simlint parse"))
+    return lines, bool(report.get("summary", {}).get("ok"))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    else:
+        report = json.load(sys.stdin)
+    lines, ok = render(report)
+    for line in lines:
+        print(line)
+    summary = report.get("summary", {})
+    print(f"simlint: {summary.get('total', 0)} findings "
+          f"({summary.get('new', 0)} new) across "
+          f"{summary.get('files_scanned', 0)} files",
+          file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,11 @@ Commands:
     Compose every table and population figure into one document.
 ``families``
     List the available workload families.
+``metrics``
+    One run's full hierarchical stat dump (every ``core.*`` /
+    ``frontend.*`` / ``mem.*`` / ``uoc.*`` / ``energy.*`` counter,
+    gauge and formula) plus its per-window IPC/MPKI series — human
+    layout by default, a schema-versioned document with ``--json``.
 ``lint``
     Run simlint, the determinism & simulation-safety static analysis
     (rule catalog in ``docs/analysis.md``), over the given paths.
@@ -106,7 +111,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_population(args: argparse.Namespace) -> int:
     from .engine import execute_population
     from .harness import (figure9_mpki, figure16_load_latency, figure17_ipc,
-                          overall_summary, render_curves)
+                          figure_windowed_ipc, overall_summary,
+                          render_curves)
     pop, stats = execute_population(n_slices=args.slices,
                                     slice_length=args.length,
                                     seed=args.seed,
@@ -118,6 +124,9 @@ def _cmd_population(args: argparse.Namespace) -> int:
     print()
     print(render_curves(figure16_load_latency(pop),
                         "FIG 16 - avg load latency per slice"))
+    print()
+    print(render_curves(figure_windowed_ipc(pop),
+                        "FIG W - IPC per window (warmup excluded)"))
     s = overall_summary(pop)
     print("\nsummary:")
     for g in GENERATION_ORDER:
@@ -153,6 +162,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import GenerationSimulator
+    from .engine.results import RESULT_SCHEMA_VERSION
+    from .metrics import window_metric_series
+
+    spec = TraceSpec(args.family, args.seed, args.length)
+    trace = spec.build()
+    gen = args.gen.upper()
+    sim = GenerationSimulator(get_generation(gen))
+    r = sim.run(trace, window_interval=args.window)
+
+    if args.json:
+        doc = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "generation": gen,
+            "trace": spec.to_dict(),
+            "window_interval": args.window,
+            "warmup_windows": args.warmup,
+            "metrics": sim.metrics.as_dict(),
+            "windows": [w.to_dict() for w in r.windows],
+            "series": {
+                attr: window_metric_series(r.windows, attr,
+                                           warmup=args.warmup)
+                for attr in ("ipc", "mpki", "average_load_latency")
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{gen} on {trace.name}: {len(trace)} uops, "
+          f"ipc {r.ipc:.3f}, mpki {r.mpki:.2f}, "
+          f"avg load latency {r.average_load_latency:.1f}")
+    print()
+    print(sim.metrics.dump())
+    if r.windows:
+        print()
+        print(f"windows (interval={args.window} instructions; first "
+              f"{args.warmup} marked as warmup):")
+        print(f"  {'#':>3s} {'instrs':>13s} {'IPC':>7s} {'MPKI':>7s} "
+              f"{'load-lat':>9s}")
+        for w in r.windows:
+            tag = "  warmup" if w.index < args.warmup else ""
+            print(f"  {w.index:3d} {w.start_instruction:6d}-"
+                  f"{w.end_instruction:<6d} {w.ipc:7.3f} {w.mpki:7.2f} "
+                  f"{w.average_load_latency:9.1f}{tag}")
     return 0
 
 
@@ -216,6 +275,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     fam = sub.add_parser("families", help="list workload families")
     fam.set_defaults(func=_cmd_families)
+
+    met = sub.add_parser(
+        "metrics", help="hierarchical stat dump + window series")
+    met.add_argument("--family", default="specint_like",
+                     choices=sorted(FAMILIES))
+    met.add_argument("--seed", type=int, default=1)
+    met.add_argument("--length", type=int, default=20_000)
+    met.add_argument("--gen", default="M6", help="M1..M6")
+    met.add_argument("--window", type=int, default=2000,
+                     help="window interval in instructions (0 disables)")
+    met.add_argument("--warmup", type=int, default=1,
+                     help="windows to mark/exclude as warmup")
+    met.add_argument("--json", action="store_true",
+                     help="emit the schema-versioned JSON document")
+    met.set_defaults(func=_cmd_metrics)
 
     lint = sub.add_parser(
         "lint", help="simlint: determinism & simulation-safety checks")

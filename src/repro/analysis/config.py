@@ -36,6 +36,10 @@ class LintConfig:
     #: bare ``except:`` is flagged everywhere regardless.
     strict_except_paths: Tuple[str, ...] = ("src/repro/engine",
                                             "src/repro/serialization.py")
+    #: Aggregation-layer paths where ``sum()`` over float series is
+    #: flagged (SIM010) — ``math.fsum`` is exact and order-independent.
+    fsum_paths: Tuple[str, ...] = ("src/repro/harness",
+                                   "src/repro/engine")
     #: Rule ids disabled globally.
     disable: Tuple[str, ...] = ()
     #: Directory containing pyproject.toml (None when none was found).
@@ -95,6 +99,8 @@ def load_config(start: Path) -> LintConfig:
         section.get("serialization_allow"), config.serialization_allow)
     config.strict_except_paths = _as_tuple(
         section.get("strict_except_paths"), config.strict_except_paths)
+    config.fsum_paths = _as_tuple(
+        section.get("fsum_paths"), config.fsum_paths)
     config.disable = tuple(
         r.upper() for r in _as_tuple(section.get("disable"), config.disable))
     return config

@@ -1,4 +1,4 @@
-"""The per-file AST rules (SIM001-SIM005, SIM007-SIM009).
+"""The per-file AST rules (SIM001-SIM005, SIM007-SIM010).
 
 Each rule targets a hazard this codebase actually depends on avoiding:
 the engine's bit-identical parallel-vs-serial guarantee and its
@@ -446,6 +446,86 @@ class BareContainerAnnotationRule(ASTRule):
                     "element types (e.g. list[int], Dict[str, float])")
 
 
+class FloatSumRule(ASTRule):
+    """SIM010: plain ``sum()`` over a float series in aggregation code.
+
+    Naive left-to-right float addition accumulates rounding error that
+    depends on the order of the operands — two mathematically equal
+    aggregations of the same values can differ in the last bits, which
+    is exactly the kind of drift that makes figure means and cache
+    payloads irreproducible.  ``math.fsum`` tracks partial sums exactly
+    and is order-independent, so it is the sanctioned aggregator in the
+    layers that average metrics (``fsum_paths`` in ``[tool.simlint]``).
+    Sums the rule can prove integral (counts, ``len()`` totals) stay
+    legal: integer addition is exact in any order.
+    """
+
+    id = "SIM010"
+    name = "float-sum"
+    severity = "warning"
+    description = ("sum() over a float sequence; math.fsum is exact and "
+                   "order-independent")
+
+    _INT_CALLS = frozenset({"len", "int", "ord", "abs"})
+    _INT_OPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod,
+                ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)
+
+    def _provably_int(self, node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, int)  # covers bool
+        if isinstance(node, ast.Call):
+            qn = ctx.qualname(node.func)
+            if qn in self._INT_CALLS:
+                # abs/int are int-preserving, not int-producing: require
+                # an integral argument for them too (len/ord always are).
+                if qn in ("abs", "int") and node.args:
+                    return qn == "int" or \
+                        self._provably_int(node.args[0], ctx)
+                return True
+            return False
+        if isinstance(node, ast.UnaryOp) and \
+                isinstance(node.op, (ast.UAdd, ast.USub, ast.Invert)):
+            return self._provably_int(node.operand, ctx)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._INT_OPS):
+            return self._provably_int(node.left, ctx) and \
+                self._provably_int(node.right, ctx)
+        if isinstance(node, ast.IfExp):
+            return self._provably_int(node.body, ctx) and \
+                self._provably_int(node.orelse, ctx)
+        return False
+
+    def _summed_element(self, arg: ast.AST) -> ast.AST:
+        """The per-element expression a ``sum()`` accumulates."""
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            return arg.elt
+        return arg
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        if not path_matches(ctx.relpath, config.fsum_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if ctx.qualname(node.func) != "sum":
+                continue
+            first = node.args[0]
+            # Set/dict.values() accumulation is SIM004's finding already.
+            if _is_set_expr(first, ctx) or _is_values_call(first):
+                continue
+            element_int = self._provably_int(
+                self._summed_element(first), ctx)
+            start_int = len(node.args) < 2 or \
+                self._provably_int(node.args[1], ctx)
+            if element_int and start_int:
+                continue
+            yield self.finding(
+                ctx, node,
+                "sum() accumulates floats left-to-right with order-"
+                "dependent rounding; use math.fsum (exact, order-"
+                "independent) or prove the series integral")
+
+
 AST_RULES = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -455,4 +535,5 @@ AST_RULES = (
     BroadExceptRule(),
     UnsafeSerializationRule(),
     BareContainerAnnotationRule(),
+    FloatSumRule(),
 )

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from ..config import GenerationConfig
 from ..frontend.predictor import BranchStats
 from ..memory.hierarchy import MemoryStats
+from ..metrics import formulas
 
 
 @dataclass
@@ -38,8 +39,7 @@ class IntervalBreakdown:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.total_cycles \
-            if self.total_cycles else 0.0
+        return formulas.ipc(self.instructions, self.total_cycles)
 
     @property
     def cpi_stack(self) -> dict[str, float]:

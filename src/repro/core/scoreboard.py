@@ -17,16 +17,25 @@ cycle earlier than usual, giving the first load an effective latency of 3
 cycles").  Front-end supply embeds the branch unit's per-branch bubbles
 and the two-predictions-per-cycle rule for a leading not-taken branch
 (Section IV-A).
+
+Stats live in the shared metric registry (``core.*``); ``CoreStats`` is
+the attribute-style view over those cells, and the inner loop bumps the
+cells through local aliases so the registry adds no per-instruction
+dict lookups.  ``run`` optionally closes a metrics window every
+``window_interval`` retired instructions via the ``on_window`` callback
+— window placement depends only on instruction count, keeping window
+series bit-identical between serial and parallel execution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..config import GenerationConfig
 from ..frontend.predictor import BranchUnit
 from ..memory.hierarchy import MemoryHierarchy
+from ..metrics import formulas
+from ..metrics.registry import MetricRegistry, StatsView
 from ..traces.types import Kind, Trace, TraceRecord
 
 #: Execution latencies (cycles) for non-memory, non-FP classes.
@@ -37,22 +46,27 @@ _LAT_DIV = 12
 _DEP_WINDOW = 64
 
 
-@dataclass
-class CoreStats:
-    instructions: int = 0
-    cycles: float = 0.0
-    loads: int = 0
-    stores: int = 0
-    branch_mispredicts: int = 0
-    fetch_bubble_cycles: float = 0.0
-    mispredict_stall_cycles: float = 0.0
-    icache_stall_cycles: float = 0.0
-    cascaded_loads: int = 0
-    zero_cycle_moves: int = 0
+class CoreStats(StatsView):
+    """Registry-backed view of the ``core.*`` stats hierarchy."""
 
-    @property
-    def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+    _FIELDS = {
+        "instructions": "core.instructions",
+        "cycles": "core.cycles",
+        "loads": "core.loads",
+        "stores": "core.stores",
+        "branch_mispredicts": "core.branch_mispredicts",
+        "fetch_bubble_cycles": "core.fetch.bubble_cycles",
+        "mispredict_stall_cycles": "core.fetch.mispredict_stall_cycles",
+        "icache_stall_cycles": "core.fetch.icache_stall_cycles",
+        "cascaded_loads": "core.cascaded_loads",
+        "zero_cycle_moves": "core.zero_cycle_moves",
+    }
+    _DERIVED = {"ipc": "core.ipc"}
+    _FORMULAS = (
+        ("core.ipc", ("core.instructions", "core.cycles"), formulas.ipc),
+        ("core.mpki", ("core.branch_mispredicts", "core.instructions"),
+         formulas.mpki),
+    )
 
 
 class _PortGroup:
@@ -80,14 +94,21 @@ class Scoreboard:
     def __init__(self, config: GenerationConfig,
                  branch_unit: Optional[BranchUnit] = None,
                  memory: Optional[MemoryHierarchy] = None,
-                 icache=None) -> None:
+                 icache=None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.config = config
         self.branch_unit = branch_unit
         self.memory = memory
         #: Optional InstructionCache; fetch-group line crossings that miss
         #: stall the front end.
         self.icache = icache
-        self.stats = CoreStats()
+        self.stats = CoreStats(registry)
+        if icache is not None:
+            reg = self.stats.registry
+            reg.gauge("core.icache.hits", lambda: self.icache.hits)
+            reg.gauge("core.icache.misses", lambda: self.icache.misses)
+            reg.gauge("core.icache.fill_stall_cycles",
+                      lambda: self.icache.fill_stall_cycles)
 
         c = config
         self._simple = _PortGroup(c.simple_alus + c.complex_alus
@@ -144,9 +165,25 @@ class Scoreboard:
 
     # -- the main loop -----------------------------------------------------------
 
-    def run(self, trace: Trace) -> CoreStats:
+    def run(self, trace: Trace,
+            on_window: Optional[Callable[[], None]] = None,
+            window_interval: int = 0) -> CoreStats:
         cfg = self.config
         stats = self.stats
+        # Hot-loop aliases for the registry cells: `cell.value += 1` is a
+        # slot store, so the per-instruction cost matches the old
+        # dataclass attribute bumps.
+        c_instr = stats.cell("instructions")
+        c_cycles = stats.cell("cycles")
+        c_loads = stats.cell("loads")
+        c_stores = stats.cell("stores")
+        c_mispredicts = stats.cell("branch_mispredicts")
+        c_bubbles = stats.cell("fetch_bubble_cycles")
+        c_mp_stall = stats.cell("mispredict_stall_cycles")
+        c_ic_stall = stats.cell("icache_stall_cycles")
+        c_cascaded = stats.cell("cascaded_loads")
+        c_zcm = stats.cell("zero_cycle_moves")
+
         completions: List[float] = [0.0] * _DEP_WINDOW  # ring buffer
         is_load_at: List[bool] = [False] * _DEP_WINDOW
         rob: List[float] = [0.0] * cfg.rob_size  # retire-time ring
@@ -156,9 +193,12 @@ class Scoreboard:
         group_branches = 0       # branches predicted this fetch cycle
         last_completion = 0.0
         current_fetch_line = -1
+        # Window countdown; 0 disables windowing entirely.
+        windowing = window_interval > 0 and on_window is not None
+        until_window = window_interval if windowing else -1
 
         for i, rec in enumerate(trace):
-            stats.instructions += 1
+            c_instr.value += 1
 
             # ---- fetch/dispatch supply -----------------------------------
             if group_count >= cfg.fetch_width:
@@ -172,7 +212,7 @@ class Scoreboard:
                     stall = self.icache.fetch_line(rec.pc, now=fetch_time)
                     if stall:
                         fetch_time += stall
-                        stats.icache_stall_cycles += stall
+                        c_ic_stall.value += stall
                         group_count = 0
                         group_branches = 0
             dispatch = fetch_time
@@ -195,7 +235,7 @@ class Scoreboard:
                     if cascade_ok and is_load_at[(i - dist) % _DEP_WINDOW]:
                         # Load-load cascading: forwarded one cycle early.
                         t -= 1.0
-                        stats.cascaded_loads += 1
+                        c_cascaded.value += 1
                     if t > ready:
                         ready = t
 
@@ -203,19 +243,19 @@ class Scoreboard:
             port = self._port_for(rec)
             if port is None:
                 issue = ready
-                stats.zero_cycle_moves += 1
+                c_zcm.value += 1
             else:
                 occupancy = _LAT_DIV if rec.kind == Kind.DIV else 1.0
                 issue = port.issue(ready, occupancy)
             if rec.kind == Kind.LOAD:
-                stats.loads += 1
+                c_loads.value += 1
                 if self.memory is not None:
                     latency = self.memory.access(rec.pc, rec.addr,
                                                  now=issue, is_store=False)
                 else:
                     latency = cfg.l1_hit_latency
             elif rec.kind == Kind.STORE:
-                stats.stores += 1
+                c_stores.value += 1
                 if self.memory is not None:
                     self.memory.access(rec.pc, rec.addr, now=issue,
                                        is_store=True)
@@ -238,16 +278,15 @@ class Scoreboard:
                 if self.branch_unit is not None:
                     result = self.branch_unit.process_branch(rec)
                     if result.mispredicted:
-                        stats.branch_mispredicts += 1
+                        c_mispredicts.value += 1
                         restart = completion + cfg.mispredict_penalty
-                        stats.mispredict_stall_cycles += max(
-                            0.0, restart - fetch_time)
+                        c_mp_stall.value += max(0.0, restart - fetch_time)
                         fetch_time = max(fetch_time, restart)
                         group_count = 0
                         group_branches = 0
                     elif rec.taken:
                         if result.bubbles:
-                            stats.fetch_bubble_cycles += result.bubbles
+                            c_bubbles.value += result.bubbles
                             fetch_time += result.bubbles
                         # A taken branch ends the fetch group.
                         fetch_time += 1.0
@@ -266,5 +305,17 @@ class Scoreboard:
                         group_count = 0
                         group_branches = 0
 
-        stats.cycles = max(last_completion, fetch_time, 1.0)
+            # ---- metrics window boundary ---------------------------------
+            if windowing:
+                until_window -= 1
+                if until_window == 0:
+                    until_window = window_interval
+                    # Publish a provisional cycle count so the window
+                    # delta sees elapsed cycles; overwritten at end of
+                    # run and at every later boundary, so timing is
+                    # unaffected.
+                    c_cycles.value = max(last_completion, fetch_time, 1.0)
+                    on_window()
+
+        c_cycles.value = max(last_completion, fetch_time, 1.0)
         return stats

@@ -4,17 +4,26 @@ Composes the branch unit (Section IV), the memory hierarchy with all
 prefetchers (Sections VII-IX), the UOC controller (Section VI) and the
 scoreboard timing model into the object the harness runs: one
 :class:`GenerationSimulator` per (generation, trace) pair.
+
+All components share one :class:`~repro.metrics.MetricRegistry`
+(``self.metrics``), so a run's complete stat hierarchy — ``core.*``,
+``frontend.*``, ``mem.*``, ``uoc.*``, ``energy.*`` plus every derived
+formula — is one ``snapshot()`` away, and ``run()`` can emit per-N-
+instruction :class:`~repro.metrics.WindowSample` series for
+warmup-excludable IPC/MPKI time-series analysis.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from ..config import GenerationConfig, get_generation
 from ..frontend.predictor import BranchStats, BranchUnit
 from ..memory.hierarchy import MemoryHierarchy, MemoryStats
 from ..memory.icache import InstructionCache
+from ..metrics import (DEFAULT_WINDOW_INSTRUCTIONS, MetricRegistry,
+                       WindowRecorder, WindowSample, window_metric_series)
 from ..power import EnergyLedger
 from ..traces.types import Trace
 from ..uop_cache import UocController, UocMode, UopCache
@@ -32,6 +41,11 @@ class SimulationResult:
     memory: MemoryStats
     ledger: EnergyLedger
     uoc_fetch_fraction: float = 0.0
+    #: Per-interval metric windows (empty when windowing was disabled).
+    windows: List[WindowSample] = field(default_factory=list)
+    #: The shared registry behind the stats views (None for results
+    #: reconstructed from serialized records).
+    metrics: Optional[MetricRegistry] = None
 
     @property
     def ipc(self) -> float:
@@ -39,12 +53,15 @@ class SimulationResult:
 
     @property
     def mpki(self) -> float:
-        return 1000.0 * self.core.branch_mispredicts / max(
-            1, self.core.instructions)
+        return self.core.registry.value("core.mpki")
 
     @property
     def average_load_latency(self) -> float:
         return self.memory.average_load_latency
+
+    def window_series(self, attr: str, warmup: int = 0) -> List[float]:
+        """Per-window time series of ``attr`` (e.g. ``"ipc"``)."""
+        return window_metric_series(self.windows, attr, warmup=warmup)
 
 
 class GenerationSimulator:
@@ -58,31 +75,52 @@ class GenerationSimulator:
         if isinstance(config, str):
             config = get_generation(config)
         self.config = config
-        self.ledger = EnergyLedger()
-        self.branch_unit = BranchUnit(config, ledger=self.ledger)
+        self.metrics = MetricRegistry()
+        self.ledger = EnergyLedger(registry=self.metrics)
+        self.branch_unit = BranchUnit(config, ledger=self.ledger,
+                                      registry=self.metrics)
         self.memory = MemoryHierarchy(config, ledger=self.ledger,
-                                      corunners=corunners)
+                                      corunners=corunners,
+                                      registry=self.metrics)
         self.uoc: Optional[UocController] = None
         if config.uoc_uops:
             self.uoc = UocController(
                 UopCache(config.uoc_uops, config.uoc_uops_per_cycle),
                 ledger=self.ledger,
+                registry=self.metrics,
             )
         self.icache = InstructionCache(config, self.memory)
         self.scoreboard = Scoreboard(config, branch_unit=self.branch_unit,
                                      memory=self.memory,
-                                     icache=self.icache)
+                                     icache=self.icache,
+                                     registry=self.metrics)
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Simulate one trace slice end to end."""
-        core = self.scoreboard.run(trace)
+    def run(self, trace: Trace, *,
+            window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+            ) -> SimulationResult:
+        """Simulate one trace slice end to end.
+
+        ``window_interval`` > 0 records a :class:`WindowSample` every
+        that many retired instructions (plus a final partial window);
+        0 disables windowed collection.  Windowing reads counters the
+        scoreboard maintains anyway, so timing results are identical
+        either way.
+        """
+        recorder: Optional[WindowRecorder] = None
+        on_window = None
+        if window_interval > 0:
+            recorder = WindowRecorder(self.metrics, window_interval)
+            on_window = recorder.take
+        core = self.scoreboard.run(trace, on_window=on_window,
+                                   window_interval=window_interval)
+        windows: List[WindowSample] = []
+        if recorder is not None:
+            windows = recorder.finish()
         self._drive_uoc(trace)
-        fetch_frac = 0.0
         if self.uoc is not None:
-            s = self.uoc.stats
-            total = s.filter_cycles + s.build_cycles + s.fetch_cycles
-            fetch_frac = s.fetch_cycles / total if total else 0.0
+            fetch_frac = self.uoc.stats.fetch_fraction
         else:
+            fetch_frac = 0.0
             # Legacy front end: every block pays fetch + decode energy.
             blocks = sum(1 for r in trace if r.is_branch) + 1
             self.ledger.record("icache_fetch", blocks)
@@ -95,6 +133,8 @@ class GenerationSimulator:
             memory=self.memory.stats,
             ledger=self.ledger,
             uoc_fetch_fraction=fetch_frac,
+            windows=windows,
+            metrics=self.metrics,
         )
 
     def _drive_uoc(self, trace: Trace) -> None:

@@ -28,7 +28,11 @@ from .cache import (  # noqa: F401
     clear_memory,
     default_cache_dir,
 )
-from .results import PopulationResult, SliceMetrics  # noqa: F401
+from .results import (  # noqa: F401
+    RESULT_SCHEMA_VERSION,
+    PopulationResult,
+    SliceMetrics,
+)
 from .runner import (  # noqa: F401
     EngineStats,
     PopulationEngine,

@@ -22,6 +22,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..config import (GENERATION_ORDER, GenerationConfig, get_generation)
+from ..metrics.windows import DEFAULT_WINDOW_INSTRUCTIONS
 from ..traces.spec import TraceLike, TraceSpec, coerce_spec
 from ..traces.types import Trace
 from ..traces.workloads import standard_suite_specs
@@ -150,7 +151,7 @@ class PopulationEngine:
 #: successor of the old ``harness.population._CACHE`` module global.
 #: Lets several benches share one ``PopulationResult`` *object* within a
 #: process, on top of the per-task result cache.
-_PopulationKey = Tuple[int, int, int, Tuple[str, ...]]
+_PopulationKey = Tuple[int, int, int, Tuple[str, ...], int]
 _POPULATION_MEMO: Dict[_PopulationKey, PopulationResult] = {}
 
 
@@ -172,16 +173,19 @@ def execute_population(
     cache: str = "memory",
     cache_dir: Optional[os.PathLike] = None,
     progress: Optional[ProgressFn] = None,
+    window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
 ) -> Tuple[PopulationResult, EngineStats]:
     """Run the standard suite on each generation, returning result+stats.
 
     The metrics list is ordered generation-major (all of M1's slices,
     then M2's, ...), matching the historical serial implementation;
     ``workers`` only shards execution and never changes the result.
+    ``window_interval`` controls per-slice metric windows (0 disables
+    them); like ``workers``, it never perturbs the timing results.
     """
     gens = tuple(generations) if generations else GENERATION_ORDER
     configs = [get_generation(g) for g in gens]
-    memo_key = (n_slices, slice_length, seed, gens)
+    memo_key = (n_slices, slice_length, seed, gens, window_interval)
     if cache != "off":
         memoized = _POPULATION_MEMO.get(memo_key)
         if memoized is not None:
@@ -199,7 +203,8 @@ def execute_population(
                                  slice_length=slice_length, seed=seed)
     # Trace-major submission order: the per-worker trace memo then sees
     # all generations of one trace back to back.
-    payloads = [population_task(config, spec)
+    payloads = [population_task(config, spec,
+                                window_interval=window_interval)
                 for spec in specs for config in configs]
     engine = PopulationEngine(workers=workers, cache=cache,
                               cache_dir=cache_dir, progress=progress)
@@ -209,7 +214,8 @@ def execute_population(
     n_gens = len(configs)
     for g in range(n_gens):  # assemble generation-major, as before
         for s in range(len(specs)):
-            result.metrics.append(SliceMetrics(**rows[s * n_gens + g]))
+            result.metrics.append(
+                SliceMetrics.from_dict(rows[s * n_gens + g]))
     if cache != "off":
         _POPULATION_MEMO[memo_key] = result
     return result, stats
@@ -225,6 +231,7 @@ def run_population(
     cache: str = "memory",
     cache_dir: Optional[os.PathLike] = None,
     progress: Optional[ProgressFn] = None,
+    window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
 ) -> PopulationResult:
     """Simulate the standard suite on each generation.
 
@@ -238,7 +245,8 @@ def run_population(
     result, _ = execute_population(
         n_slices=n_slices, slice_length=slice_length, seed=seed,
         generations=generations, workers=workers, cache=cache,
-        cache_dir=cache_dir, progress=progress)
+        cache_dir=cache_dir, progress=progress,
+        window_interval=window_interval)
     return result
 
 

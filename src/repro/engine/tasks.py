@@ -31,21 +31,27 @@ from typing import Any, Dict, Tuple
 
 from .. import __version__
 from ..config import GenerationConfig
+from ..metrics.windows import DEFAULT_WINDOW_INSTRUCTIONS
 from ..serialization import config_from_dict, config_to_dict
 from ..traces.spec import TraceSpec
 from ..traces.types import Trace
 
 #: Bump when the result payload format or task semantics change.
-ENGINE_SCHEMA_VERSION = 1
+#: History: 1 = flat scalar rows; 2 = schema-versioned rows carrying
+#: per-window metric series (window_interval joined the payload).
+ENGINE_SCHEMA_VERSION = 2
 
 
 def population_task(config: GenerationConfig, spec: TraceSpec,
-                    corunners: int = 0) -> Dict[str, Any]:
+                    corunners: int = 0,
+                    window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+                    ) -> Dict[str, Any]:
     return {
         "kind": "population",
         "config": config_to_dict(config),
         "trace": spec.to_dict(),
         "corunners": corunners,
+        "window_interval": window_interval,
     }
 
 
@@ -100,25 +106,29 @@ def _build_trace(spec_dict: Dict[str, Any]) -> Trace:
 def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     from ..core import GenerationSimulator
     from ..core.interval import estimate_from_simulation
+    from .results import SliceMetrics
 
     config = config_from_dict(payload["config"])
     trace = _build_trace(payload["trace"])
     sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
-    r = sim.run(trace)
+    r = sim.run(trace, window_interval=payload.get(
+        "window_interval", DEFAULT_WINDOW_INSTRUCTIONS))
     stack = estimate_from_simulation(r).cpi_stack
-    return {
-        "trace_name": trace.name,
-        "family": trace.family,
-        "generation": config.name,
-        "ipc": r.ipc,
-        "mpki": r.mpki,
-        "average_load_latency": r.average_load_latency,
-        "bubbles_per_branch": r.branch.bubbles_per_branch,
-        "cpi_base": stack["base"],
-        "cpi_mispredict": stack["mispredict"],
-        "cpi_frontend": stack["frontend_bubbles"],
-        "cpi_memory": stack["memory"],
-    }
+    row = SliceMetrics(
+        trace_name=trace.name,
+        family=trace.family,
+        generation=config.name,
+        ipc=r.ipc,
+        mpki=r.mpki,
+        average_load_latency=r.average_load_latency,
+        bubbles_per_branch=r.branch.bubbles_per_branch,
+        cpi_base=stack["base"],
+        cpi_mispredict=stack["mispredict"],
+        cpi_frontend=stack["frontend_bubbles"],
+        cpi_memory=stack["memory"],
+        windows=r.windows,
+    )
+    return row.to_dict()
 
 
 def _run_ghist_task(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..metrics import formulas
 from .history import fold_bits, pc_hash
 
 
@@ -97,7 +98,7 @@ def measure_conditional_mpki(predictor, trace) -> float:
                 mispredicts += 1
             predictor.update(rec.pc, rec.taken)
         predictor.push_history(rec.pc, rec.is_conditional, rec.taken)
-    return 1000.0 * mispredicts / max(1, len(trace))
+    return formulas.mpki(mispredicts, len(trace))
 
 
 class ShpDirectionAdapter:

@@ -15,10 +15,12 @@ simplification the paper's own trace-driven model makes for speed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..config import GenerationConfig
+from ..metrics import formulas
+from ..metrics.registry import MetricRegistry, StatsView
 from ..power import EnergyLedger
 from ..traces.types import Kind, Trace, TraceRecord
 from .accel import RedirectAccelerator
@@ -55,38 +57,45 @@ class BranchResult:
     path: str = "main"
 
 
-@dataclass
-class BranchStats:
-    """Aggregate statistics over a processed trace."""
+class BranchStats(StatsView):
+    """Registry-backed view of the ``frontend.*`` stats hierarchy.
 
-    instructions: int = 0
-    branches: int = 0
-    conditional_branches: int = 0
-    taken_branches: int = 0
-    mispredicts: int = 0
-    conditional_mispredicts: int = 0
-    indirect_mispredicts: int = 0
-    return_mispredicts: int = 0
-    #: Decode-time resteers for direct taken branches missing the BTB
-    #: (cost bubbles, not mispredicts).
-    btb_miss_redirects: int = 0
-    #: RAS checkpoint repairs performed on mispredict recovery.
-    ras_repairs: int = 0
-    total_bubbles: int = 0
-    mrb_saved_bubbles: int = 0
-    zero_bubble_redirects: int = 0
+    ``btb_miss_redirects`` counts decode-time resteers for direct taken
+    branches missing the BTB (cost bubbles, not mispredicts);
+    ``ras_repairs`` counts RAS checkpoint repairs on mispredict
+    recovery.  The derived MPKI / bubbles-per-branch properties route
+    through the shared formula definitions.
+    """
 
-    @property
-    def mpki(self) -> float:
-        return 1000.0 * self.mispredicts / max(1, self.instructions)
-
-    @property
-    def conditional_mpki(self) -> float:
-        return 1000.0 * self.conditional_mispredicts / max(1, self.instructions)
-
-    @property
-    def bubbles_per_branch(self) -> float:
-        return self.total_bubbles / max(1, self.branches)
+    _FIELDS = {
+        "instructions": "frontend.instructions",
+        "branches": "frontend.branches",
+        "conditional_branches": "frontend.conditional_branches",
+        "taken_branches": "frontend.taken_branches",
+        "mispredicts": "frontend.mispredicts",
+        "conditional_mispredicts": "frontend.conditional_mispredicts",
+        "indirect_mispredicts": "frontend.indirect_mispredicts",
+        "return_mispredicts": "frontend.return_mispredicts",
+        "btb_miss_redirects": "frontend.btb.miss_redirects",
+        "ras_repairs": "frontend.ras.repairs",
+        "total_bubbles": "frontend.bubbles.total",
+        "mrb_saved_bubbles": "frontend.bubbles.mrb_saved",
+        "zero_bubble_redirects": "frontend.bubbles.zero_redirects",
+    }
+    _DERIVED = {
+        "mpki": "frontend.mpki",
+        "conditional_mpki": "frontend.conditional_mpki",
+        "bubbles_per_branch": "frontend.bubbles_per_branch",
+    }
+    _FORMULAS = (
+        ("frontend.mpki", ("frontend.mispredicts", "frontend.instructions"),
+         formulas.mpki),
+        ("frontend.conditional_mpki",
+         ("frontend.conditional_mispredicts", "frontend.instructions"),
+         formulas.mpki),
+        ("frontend.bubbles_per_branch",
+         ("frontend.bubbles.total", "frontend.branches"), formulas.ratio),
+    )
 
 
 class BranchUnit:
@@ -95,10 +104,13 @@ class BranchUnit:
     def __init__(self, config: GenerationConfig,
                  ledger: Optional[EnergyLedger] = None,
                  encrypt: Optional[Callable[[int], int]] = None,
-                 decrypt: Optional[Callable[[int], int]] = None) -> None:
+                 decrypt: Optional[Callable[[int], int]] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.config = config
         bp = config.branch
-        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.stats = BranchStats(registry)
+        self.ledger = (ledger if ledger is not None
+                       else EnergyLedger(registry=self.stats.registry))
         self.shp = ScaledHashedPerceptron(
             n_tables=bp.shp_tables,
             rows=bp.shp_rows,
@@ -129,13 +141,41 @@ class BranchUnit:
         self.accel = RedirectAccelerator(bp.has_1at, bp.has_zat_zot, self.btb)
         self.confidence = ConfidenceEstimator()
         self.mrb = MispredictRecoveryBuffer(bp.mrb_entries)
-        self.stats = BranchStats()
+        self._bind_structure_gauges()
         #: Whether the previous retired branch was taken (ZAT/ZOT learning).
         self._prev_taken = False
         self._prev_line = -1
         #: Zero-bubble arbiter decisions (Section IV-E): times the uBTB
         #: was suppressed in favour of the ZAT/ZOT path.
         self.arbiter_suppressions = 0
+
+    def _bind_structure_gauges(self) -> None:
+        """Expose sub-structure counters as pull metrics.
+
+        The gauges read through ``self`` (not the structure instances)
+        so a ``context_switch("flush")``, which rebuilds the predictor
+        structures, never leaves a gauge pointing at a dead object.
+        """
+        reg = self.stats.registry
+        reg.gauge("frontend.btb.mbtb.hits", lambda: self.btb.hits_mbtb)
+        reg.gauge("frontend.btb.vbtb.hits", lambda: self.btb.hits_vbtb)
+        reg.gauge("frontend.btb.l2btb.hits", lambda: self.btb.hits_l2btb)
+        reg.gauge("frontend.btb.misses", lambda: self.btb.misses)
+        reg.gauge("frontend.btb.vbtb.spills", lambda: self.btb.spills_to_vbtb)
+        reg.gauge("frontend.btb.l2btb.fills", lambda: self.btb.l2btb_fills)
+        reg.gauge("frontend.btb.empty_line_skips",
+                  lambda: self.btb.empty_line_skips)
+        reg.gauge("frontend.ubtb.lock_events", lambda: self.ubtb.lock_events)
+        reg.gauge("frontend.ubtb.unlock_events",
+                  lambda: self.ubtb.unlock_events)
+        reg.gauge("frontend.ubtb.locked_predictions",
+                  lambda: self.ubtb.locked_predictions)
+        reg.gauge("frontend.ubtb.locked_mispredicts",
+                  lambda: self.ubtb.locked_mispredicts)
+        reg.gauge("frontend.ubtb.gated_lookups",
+                  lambda: self.ubtb.gated_lookups)
+        reg.gauge("frontend.ras.overflows", lambda: self.ras.overflows)
+        reg.gauge("frontend.ras.underflows", lambda: self.ras.underflows)
 
     #: Arbiter heuristic: if recent uBTB lock episodes average fewer
     #: branches than this, the graph is thrashing (locking and immediately

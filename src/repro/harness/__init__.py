@@ -6,8 +6,11 @@ from .figures import (  # noqa: F401
     figure9_mpki,
     figure16_load_latency,
     figure17_ipc,
+    figure_windowed_ipc,
+    figure_windowed_mpki,
     overall_summary,
     population_curves,
+    population_window_curves,
     render_curves,
 )
 from .population import (  # noqa: F401

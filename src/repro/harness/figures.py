@@ -10,6 +10,7 @@ by unit tests and the examples.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,13 +45,13 @@ def figure1_ghist_sweep(
     if traces is not None:
         out: Dict[int, float] = {}
         for bits in ghist_points:
-            total = 0.0
+            vals = []
             for t in traces:
                 shp = ShpDirectionAdapter(
                     ScaledHashedPerceptron(8, 1024, ghist_bits=bits,
                                            phist_bits=80))
-                total += measure_conditional_mpki(shp, t)
-            out[bits] = total / len(traces)
+                vals.append(measure_conditional_mpki(shp, t))
+            out[bits] = math.fsum(vals) / len(vals)
         return out
 
     from ..engine import PopulationEngine, ghist_task
@@ -67,7 +68,7 @@ def figure1_ghist_sweep(
     for p, bits in enumerate(ghist_points):
         vals = [rows[s * n_points + p]["conditional_mpki"]
                 for s in range(len(specs))]
-        out[bits] = sum(vals) / len(vals)
+        out[bits] = math.fsum(vals) / len(vals)
     return out
 
 
@@ -86,6 +87,51 @@ def population_curves(attr: str, clip: Optional[float] = None,
             series = [min(v, clip) for v in series]
         out[name] = series
     return out
+
+
+def population_window_curves(
+    attr: str,
+    population: Optional[PopulationResult] = None,
+    generations: Sequence[str] = GENERATION_ORDER,
+    warmup: int = 1,
+    clip: Optional[float] = None,
+) -> Dict[str, List[float]]:
+    """Per-*window* s-curves: the sorted pool of every slice's
+    post-warmup window values of ``attr`` (``"ipc"``, ``"mpki"``,
+    ``"average_load_latency"``), one series per generation.
+
+    Where :func:`population_curves` has one point per 20k-instruction
+    slice, this has one per window — the same distributions at interval
+    resolution, with the first ``warmup`` windows of each slice dropped
+    so cold predictor/cache state doesn't skew the curve.
+    """
+    pop = population if population is not None else run_population()
+    out: Dict[str, List[float]] = {}
+    for name in generations:
+        series = pop.window_series(name, attr, warmup=warmup)
+        if clip is not None:
+            series = [min(v, clip) for v in series]
+        out[name] = series
+    return out
+
+
+def figure_windowed_ipc(population: Optional[PopulationResult] = None,
+                        warmup: int = 1) -> Dict[str, List[float]]:
+    """Windowed companion to Figure 17: per-window IPC distributions
+    across the population, warmup windows excluded."""
+    return population_window_curves("ipc", population=population,
+                                    warmup=warmup)
+
+
+def figure_windowed_mpki(population: Optional[PopulationResult] = None,
+                         warmup: int = 1) -> Dict[str, List[float]]:
+    """Windowed companion to Figure 9: per-window MPKI distributions,
+    clipped at 20 like the paper's slice-level curve (M2 omitted for the
+    same reason)."""
+    gens = tuple(g for g in GENERATION_ORDER if g != "M2")
+    return population_window_curves("mpki", population=population,
+                                    generations=gens, warmup=warmup,
+                                    clip=20.0)
 
 
 def figure9_mpki(population: Optional[PopulationResult] = None
@@ -130,8 +176,9 @@ def render_curves(curves: Dict[str, List[float]], title: str,
     out.append(f"  y: {fmt.format(hi)} (top) .. {fmt.format(lo)} (bottom);"
                " x: slices sorted ascending")
     for gi, name in enumerate(curves):
+        mean = math.fsum(curves[name]) / len(curves[name])
         out.append(f"  series {marks[gi % len(marks)]} = {name}"
-                   f"  (mean {sum(curves[name]) / len(curves[name]):.2f})")
+                   f"  (mean {mean:.2f})")
     out.extend("  |" + "".join(row) for row in grid)
     return "\n".join(out)
 

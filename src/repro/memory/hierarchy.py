@@ -15,10 +15,11 @@ degree scaling and two-pass exist — without a full event queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..config import GenerationConfig
+from ..metrics import formulas
+from ..metrics.registry import MetricRegistry, StatsView
 from ..power import EnergyLedger
 from .cache import SetAssocCache
 from .coordinated import CoordinatedPolicy
@@ -38,22 +39,26 @@ from ..prefetch import (
 PAGE_BYTES = 4096
 
 
-@dataclass
-class MemoryStats:
-    loads: int = 0
-    stores: int = 0
-    load_latency_sum: float = 0.0
-    l1_hits: int = 0
-    l1_late_prefetch_hits: int = 0
-    l2_hits: int = 0
-    l3_hits: int = 0
-    dram_accesses: int = 0
-    prefetches_issued: int = 0
-    prefetch_dram_traffic: int = 0
+class MemoryStats(StatsView):
+    """Registry-backed view of the ``mem.*`` stats hierarchy."""
 
-    @property
-    def average_load_latency(self) -> float:
-        return self.load_latency_sum / max(1, self.loads)
+    _FIELDS = {
+        "loads": "mem.loads",
+        "stores": "mem.stores",
+        "load_latency_sum": "mem.load_latency_sum",
+        "l1_hits": "mem.l1.hits",
+        "l1_late_prefetch_hits": "mem.l1.late_prefetch_hits",
+        "l2_hits": "mem.l2.hits",
+        "l3_hits": "mem.l3.hits",
+        "dram_accesses": "mem.dram.accesses",
+        "prefetches_issued": "mem.prefetch.issued",
+        "prefetch_dram_traffic": "mem.prefetch.dram_traffic",
+    }
+    _DERIVED = {"average_load_latency": "mem.average_load_latency"}
+    _FORMULAS = (
+        ("mem.average_load_latency", ("mem.load_latency_sum", "mem.loads"),
+         formulas.average_latency),
+    )
 
 
 class MemoryHierarchy:
@@ -72,9 +77,12 @@ class MemoryHierarchy:
 
     def __init__(self, config: GenerationConfig,
                  ledger: Optional[EnergyLedger] = None,
-                 corunners: int = 0) -> None:
+                 corunners: int = 0,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.config = config
-        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.stats = MemoryStats(registry)
+        self.ledger = (ledger if ledger is not None
+                       else EnergyLedger(registry=self.stats.registry))
         self.corunners = corunners
         shared = config.l2_shared_by > 1
         active = min(corunners, config.l2_shared_by - 1) if shared else 0
@@ -128,12 +136,44 @@ class MemoryHierarchy:
             if pf.has_standalone else None
         )
 
-        self.stats = MemoryStats()
+        # Hot-path cell aliases: `access()` runs once per load/store, so
+        # the per-access stat bumps go straight to the registry cells.
+        self._c_loads = self.stats.cell("loads")
+        self._c_stores = self.stats.cell("stores")
+        self._c_lat_sum = self.stats.cell("load_latency_sum")
+        self._c_l1_hits = self.stats.cell("l1_hits")
+        self._c_l1_late = self.stats.cell("l1_late_prefetch_hits")
+        self._bind_structure_gauges()
         #: In-flight fills: line address -> (L1 ready cycle, L2-staged
         #: cycle).  The two-pass scheme stages data in the L2 before the
         #: second pass fills the L1, so a demand access racing the fill
         #: pays at most the residual-to-L2 plus an L2 access.
         self._inflight: Dict[int, Tuple[float, float]] = {}
+
+    def _bind_structure_gauges(self) -> None:
+        """Expose cache/TLB/DRAM structure counters as pull metrics."""
+        reg = self.stats.registry
+        for level, cache in (("l1", self.l1), ("l2", self.l2),
+                             ("l3", self.l3)):
+            if cache is None:
+                continue
+            reg.gauge(f"mem.{level}.cache.hits",
+                      lambda c=cache: c.hits)
+            reg.gauge(f"mem.{level}.cache.misses",
+                      lambda c=cache: c.misses)
+            reg.gauge(f"mem.{level}.cache.evictions",
+                      lambda c=cache: c.evictions)
+            reg.gauge(f"mem.{level}.cache.prefetch_fills",
+                      lambda c=cache: c.prefetch_fills)
+        for level, tlb in (("l1", self.tlb.l1), ("l15", self.tlb.l15),
+                           ("l2", self.tlb.l2)):
+            if tlb is None:
+                continue
+            reg.gauge(f"mem.tlb.{level}.hits", lambda t=tlb: t.hits)
+            reg.gauge(f"mem.tlb.{level}.misses", lambda t=tlb: t.misses)
+        reg.gauge("mem.tlb.walks", lambda: self.tlb.walks)
+        reg.gauge("mem.dram.page_hits", lambda: self.dram.page_hits)
+        reg.gauge("mem.dram.page_misses", lambda: self.dram.page_misses)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -153,9 +193,9 @@ class MemoryHierarchy:
         cfg = self.config
         line = self._line(addr)
         if is_store:
-            self.stats.stores += 1
+            self._c_stores.value += 1
         else:
-            self.stats.loads += 1
+            self._c_loads.value += 1
 
         latency = self.tlb.translate(addr).latency
 
@@ -170,18 +210,18 @@ class MemoryHierarchy:
                 cost = max(cfg.l1_hit_latency, min(residual,
                                                    l1_ready - now))
                 latency += cost
-                self.stats.l1_late_prefetch_hits += 1
+                self._c_l1_late.value += 1
                 # The line lands in the L1 when this access completes.
                 self._inflight[line] = (now + cost, l2_staged)
             else:
                 self._inflight.pop(line, None)
                 latency += cfg.l1_hit_latency
-                self.stats.l1_hits += 1
+                self._c_l1_hits.value += 1
             first_prefetch_touch = l1_line.prefetched and not l1_line.accessed
             l1_line.accessed = True
             l1_line.dirty = l1_line.dirty or is_store
             if not is_store:
-                self.stats.load_latency_sum += latency
+                self._c_lat_sum.value += latency
             if first_prefetch_touch:
                 # A demand touch of a prefetched line is a confirmation:
                 # it must keep training the engines so the stream frontier
@@ -193,7 +233,7 @@ class MemoryHierarchy:
         miss_latency = self._miss_path(pc, addr, line, now, is_store)
         latency += miss_latency
         if not is_store:
-            self.stats.load_latency_sum += latency
+            self._c_lat_sum.value += latency
 
         # Train the L1 engines on this miss (re-order + dedup first).
         self._train_l1_engines(pc, addr, now)
@@ -208,7 +248,7 @@ class MemoryHierarchy:
             l1_ready, l2_staged = flight
             residual = max(0.0, l2_staged - now) + cfg.l2_avg_latency
             delta = max(cfg.l1_hit_latency, min(residual, l1_ready - now))
-            self.stats.l1_late_prefetch_hits += 1
+            self._c_l1_late.value += 1
             self.l1.fill(addr, dirty=is_store)
             self._inflight[line] = (now + delta, l2_staged)
             return delta

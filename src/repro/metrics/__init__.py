@@ -1,0 +1,34 @@
+"""repro.metrics — hierarchical stat registry with windowed snapshots.
+
+Public surface:
+
+- :class:`MetricRegistry` / :class:`MetricSnapshot` — counter, gauge,
+  and formula store with O(1) increments and cheap snapshot/delta.
+- :class:`StatsView` — attribute-style facade that keeps the legacy
+  ``CoreStats``-shaped reads working on top of registry cells.
+- :mod:`repro.metrics.formulas` — every derived metric (IPC, MPKI,
+  average load latency, UOC fetch fraction) defined exactly once.
+- :class:`WindowRecorder` / :class:`WindowSample` — per-N-instruction
+  interval snapshots for warmup-excludable time series.
+"""
+
+from .formulas import STANDARD_FORMULAS
+from .registry import (Counter, Formula, Gauge, MetricRegistry,
+                       MetricSnapshot, StatsView)
+from .windows import (DEFAULT_WINDOW_INSTRUCTIONS, WINDOW_COUNTERS,
+                      WindowRecorder, WindowSample, window_metric_series)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Formula",
+    "MetricRegistry",
+    "MetricSnapshot",
+    "StatsView",
+    "STANDARD_FORMULAS",
+    "DEFAULT_WINDOW_INSTRUCTIONS",
+    "WINDOW_COUNTERS",
+    "WindowRecorder",
+    "WindowSample",
+    "window_metric_series",
+]

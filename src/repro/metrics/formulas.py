@@ -1,0 +1,66 @@
+"""Derived-metric formulas, defined exactly once.
+
+Every derived statistic the reproduction reports — IPC, MPKI, average
+load latency, bubbles per branch, the UOC fetch fraction — used to be
+re-computed ad hoc in the stats dataclasses, ``SimulationResult``, the
+interval model and the harness.  These functions are now the single
+definition; every consumer (stats views, :class:`~repro.core.simulator
+.SimulationResult`, :mod:`repro.core.interval`, window samples, the
+harness) routes through them, and :data:`STANDARD_FORMULAS` names the
+registry bindings so snapshots and window deltas evaluate the same math.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+
+def ipc(instructions: float, cycles: float) -> float:
+    """Instructions per cycle; 0 when no cycles have elapsed."""
+    return instructions / cycles if cycles else 0.0
+
+
+def per_kilo(events: float, instructions: float) -> float:
+    """Events per thousand instructions (the MPKI shape)."""
+    return 1000.0 * events / max(1, instructions)
+
+
+#: MPKI is per_kilo applied to mispredicts — one definition, two names.
+mpki = per_kilo
+
+
+def average_latency(latency_sum: float, accesses: float) -> float:
+    """Mean latency of ``accesses`` events totalling ``latency_sum``."""
+    return latency_sum / max(1, accesses)
+
+
+def ratio(part: float, whole: float) -> float:
+    """``part / whole`` with an empty-denominator guard."""
+    return part / max(1, whole)
+
+
+def fraction_of_total(part: float, *parts: float) -> float:
+    """``part`` as a fraction of ``part + sum(parts)``; 0 when empty."""
+    total = part + sum(parts)
+    return part / total if total else 0.0
+
+
+#: The standard registry formula layout: derived-metric name ->
+#: (input counter names, function).  Registered by the stats views in
+#: their ``_DERIVED`` tables; listed here as the one normative index.
+STANDARD_FORMULAS: Dict[str, Tuple[Tuple[str, ...],
+                                   Callable[..., float]]] = {
+    "core.ipc": (("core.instructions", "core.cycles"), ipc),
+    "core.mpki": (("core.branch_mispredicts", "core.instructions"), mpki),
+    "frontend.mpki": (("frontend.mispredicts", "frontend.instructions"),
+                      mpki),
+    "frontend.conditional_mpki": (
+        ("frontend.conditional_mispredicts", "frontend.instructions"), mpki),
+    "frontend.bubbles_per_branch": (
+        ("frontend.bubbles.total", "frontend.branches"), ratio),
+    "mem.average_load_latency": (("mem.load_latency_sum", "mem.loads"),
+                                 average_latency),
+    "uoc.fetch_fraction": (
+        ("uoc.fetch_cycles", "uoc.filter_cycles", "uoc.build_cycles"),
+        fraction_of_total),
+}

@@ -11,11 +11,18 @@ and benches compare ledgers across configurations.
 Energies are in arbitrary relative units, scaled by structure size the way
 SRAM access energy roughly scales (proportional to sqrt(bits) per access
 for a fixed geometry, here simplified to fixed per-structure costs).
+
+Event counts live in the metric registry as ``energy.<event>`` counters
+(plus an ``energy.total`` formula), so ledger activity shows up in
+snapshots and ``python -m repro metrics`` dumps alongside the timing
+stats; the ``counts`` mapping remains available as a read-only view.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
+
+from .metrics.registry import Counter, MetricRegistry
 
 #: Relative energy per access event.
 DEFAULT_ENERGY_TABLE: Dict[str, float] = {
@@ -38,26 +45,45 @@ DEFAULT_ENERGY_TABLE: Dict[str, float] = {
 class EnergyLedger:
     """Accumulates access-event counts and converts them to energy."""
 
-    def __init__(self, table: Dict[str, float] = None) -> None:
+    def __init__(self, table: Dict[str, float] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.table = dict(DEFAULT_ENERGY_TABLE if table is None else table)
-        self.counts: Dict[str, int] = {}
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._cells: Dict[str, Counter] = {
+            event: self.registry.counter(f"energy.{event}")
+            for event in self.table}
+        weights = dict(self.table)
+        self.registry.formula(
+            "energy.total",
+            tuple(f"energy.{e}" for e in weights),
+            lambda *counts, _w=tuple(weights.values()):
+                sum(n * w for n, w in zip(counts, _w)))
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Non-zero event counts (read-only snapshot view)."""
+        return {event: cell.value for event, cell in self._cells.items()
+                if cell.value}
 
     def record(self, event: str, count: int = 1) -> None:
-        if event not in self.table:
+        cell = self._cells.get(event)
+        if cell is None:
             raise KeyError(f"unknown energy event {event!r}")
-        self.counts[event] = self.counts.get(event, 0) + count
+        cell.value += count
 
     def energy(self, event: str = None) -> float:
         """Total energy, or the energy of one event class."""
         if event is not None:
-            return self.counts.get(event, 0) * self.table[event]
-        return sum(self.counts.get(e, 0) * c for e, c in self.table.items())
+            return self._cells[event].value * self.table[event]
+        return sum(self._cells[e].value * c for e, c in self.table.items())
 
     def merged(self, other: "EnergyLedger") -> "EnergyLedger":
         out = EnergyLedger(self.table)
         for src in (self, other):
             for e, n in src.counts.items():
-                out.counts[e] = out.counts.get(e, 0) + n
+                if e not in out._cells:  # event absent from this table
+                    out._cells[e] = out.registry.counter(f"energy.{e}")
+                out._cells[e].value += n
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

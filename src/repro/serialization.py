@@ -82,27 +82,41 @@ def config_from_json(text: str) -> GenerationConfig:
 
 def metrics_to_dict(metrics: "Any") -> Dict[str, Any]:
     """One :class:`~repro.engine.results.SliceMetrics` row as a plain
-    dict (JSON-safe: every field is a str or float)."""
-    return dataclasses.asdict(metrics)
+    dict (JSON-safe; schema-versioned, windows included)."""
+    return metrics.to_dict()
 
 
 def metrics_from_dict(data: Dict[str, Any]) -> "Any":
-    """Rebuild a :class:`~repro.engine.results.SliceMetrics` row
-    (raises ``TypeError`` on unknown/missing fields)."""
+    """Rebuild a :class:`~repro.engine.results.SliceMetrics` row.
+
+    Accepts current-schema rows and schema-1 (pre-window) rows; raises
+    ``ValueError`` on rows from a newer schema and ``TypeError`` on
+    unknown/missing fields.
+    """
     from .engine.results import SliceMetrics
 
-    return SliceMetrics(**data)
+    return SliceMetrics.from_dict(data)
 
 
 def population_to_dict(population: "Any") -> Dict[str, Any]:
     """A whole :class:`~repro.engine.results.PopulationResult` as plain
     dicts, for JSON export or archival of a population run."""
-    return {"metrics": [metrics_to_dict(m) for m in population.metrics]}
+    from .engine.results import RESULT_SCHEMA_VERSION
+
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "metrics": [metrics_to_dict(m) for m in population.metrics],
+    }
 
 
 def population_from_dict(data: Dict[str, Any]) -> "Any":
-    from .engine.results import PopulationResult
+    from .engine.results import RESULT_SCHEMA_VERSION, PopulationResult
 
+    schema = data.get("schema", 1)
+    if schema not in (1, RESULT_SCHEMA_VERSION):
+        raise ValueError(
+            f"unsupported population schema {schema!r} "
+            f"(this build reads <= {RESULT_SCHEMA_VERSION})")
     return PopulationResult(
         metrics=[metrics_from_dict(m) for m in data["metrics"]])
 

@@ -22,9 +22,10 @@ The front end operates in one of three modes:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..metrics import formulas
+from ..metrics.registry import MetricRegistry, StatsView
 from ..power import EnergyLedger
 from .uoc import UopCache
 
@@ -35,14 +36,23 @@ class UocMode(enum.Enum):
     FETCH = "fetch"
 
 
-@dataclass
-class UocModeStats:
-    filter_cycles: int = 0
-    build_cycles: int = 0
-    fetch_cycles: int = 0
-    to_build: int = 0
-    to_fetch: int = 0
-    back_to_filter: int = 0
+class UocModeStats(StatsView):
+    """Registry-backed view of the ``uoc.*`` stats hierarchy."""
+
+    _FIELDS = {
+        "filter_cycles": "uoc.filter_cycles",
+        "build_cycles": "uoc.build_cycles",
+        "fetch_cycles": "uoc.fetch_cycles",
+        "to_build": "uoc.transitions.to_build",
+        "to_fetch": "uoc.transitions.to_fetch",
+        "back_to_filter": "uoc.transitions.back_to_filter",
+    }
+    _DERIVED = {"fetch_fraction": "uoc.fetch_fraction"}
+    _FORMULAS = (
+        ("uoc.fetch_fraction",
+         ("uoc.fetch_cycles", "uoc.filter_cycles", "uoc.build_cycles"),
+         formulas.fraction_of_total),
+    )
 
 
 class UocController:
@@ -59,11 +69,16 @@ class UocController:
     FILTER_STREAK = 16
 
     def __init__(self, uoc: UopCache,
-                 ledger: Optional[EnergyLedger] = None) -> None:
+                 ledger: Optional[EnergyLedger] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         self.uoc = uoc
-        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.stats = UocModeStats(registry)
+        self.ledger = (ledger if ledger is not None
+                       else EnergyLedger(registry=self.stats.registry))
+        reg = self.stats.registry
+        reg.gauge("uoc.cache.hits", lambda: self.uoc.hits)
+        reg.gauge("uoc.cache.misses", lambda: self.uoc.misses)
         self.mode = UocMode.FILTER
-        self.stats = UocModeStats()
         #: uBTB-entry "built" bits, keyed by block start PC.
         self._built_bits: Dict[int, bool] = {}
         self._filter_streak = 0

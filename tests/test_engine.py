@@ -149,9 +149,9 @@ def test_disk_cache_skips_simulation_entirely(tmp_path, monkeypatch):
     calls = {"n": 0}
     orig = GenerationSimulator.run
 
-    def counting_run(self, trace):
+    def counting_run(self, trace, **kwargs):
         calls["n"] += 1
-        return orig(self, trace)
+        return orig(self, trace, **kwargs)
 
     monkeypatch.setattr(GenerationSimulator, "run", counting_run)
     kwargs = dict(n_slices=2, slice_length=1000, seed=13,

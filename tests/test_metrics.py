@@ -1,0 +1,308 @@
+"""The unified metrics layer: registry semantics, snapshot/delta,
+windowed collection determinism, and the schema-v2 serialization of
+windows through the engine.
+"""
+
+import json
+
+import pytest
+
+from repro.config import get_generation
+from repro.core import GenerationSimulator
+from repro.engine import (clear_caches, population_task, run_population,
+                          task_fingerprint)
+from repro.engine.results import RESULT_SCHEMA_VERSION, SliceMetrics
+from repro.metrics import (MetricRegistry, StatsView, WindowSample,
+                           window_metric_series)
+from repro.metrics import formulas
+from repro.serialization import population_from_json, population_to_json
+from repro.traces import TraceSpec, make_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine_state():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# Registry primitives
+# ---------------------------------------------------------------------------
+
+def test_counter_is_idempotent_and_starts_integral():
+    reg = MetricRegistry()
+    c = reg.counter("core.instructions")
+    assert reg.counter("core.instructions") is c
+    assert c.value == 0 and isinstance(c.value, int)
+    c.add(3)
+    assert reg.value("core.instructions") == 3 and isinstance(c.value, int)
+    c.add(0.5)  # float adds promote naturally (latency sums, cycles)
+    assert c.value == 3.5
+
+
+def test_gauge_rebinding_replaces_reader():
+    reg = MetricRegistry()
+    reg.gauge("mem.l1.hits", lambda: 1)
+    reg.gauge("mem.l1.hits", lambda: 42)
+    assert reg.value("mem.l1.hits") == 42
+
+
+def test_formula_registration_is_idempotent():
+    reg = MetricRegistry()
+    f = reg.formula("core.ipc", ("core.instructions", "core.cycles"),
+                    formulas.ipc)
+    assert reg.formula("core.ipc", (), lambda: 0.0) is f
+
+
+def test_cross_kind_name_collision_raises():
+    reg = MetricRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="collision"):
+        reg.gauge("x", lambda: 0)
+    with pytest.raises(ValueError, match="collision"):
+        reg.formula("x", (), lambda: 0.0)
+    with pytest.raises(KeyError):
+        reg.value("unregistered")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / delta semantics
+# ---------------------------------------------------------------------------
+
+def test_snapshot_freezes_counters_and_gauges():
+    reg = MetricRegistry()
+    c = reg.counter("a")
+    state = {"v": 10}
+    reg.gauge("b", lambda: state["v"])
+    c.add(5)
+    snap = reg.snapshot()
+    c.add(100)
+    state["v"] = 99
+    assert snap["a"] == 5 and snap["b"] == 10  # frozen at snapshot time
+    assert reg.value("a") == 105 and reg.value("b") == 99
+
+
+def test_delta_differences_counters_and_reevaluates_formulas():
+    reg = MetricRegistry()
+    instr = reg.counter("core.instructions")
+    cycles = reg.counter("core.cycles")
+    reg.formula("core.ipc", ("core.instructions", "core.cycles"),
+                formulas.ipc)
+    instr.add(1000); cycles.add(500)
+    first = reg.snapshot()
+    instr.add(3000); cycles.add(1000)
+    second = reg.snapshot()
+
+    window = second.delta(first)
+    assert window["core.instructions"] == 3000
+    assert window["core.cycles"] == 1000
+    # The same formula object yields whole-run IPC from a snapshot and
+    # per-window IPC from the delta.
+    assert second["core.ipc"] == pytest.approx(4000 / 1500)
+    assert window["core.ipc"] == pytest.approx(3.0)
+    assert "core.ipc" in window and "nope" not in window
+    assert window.get("nope", -1) == -1
+
+
+def test_derived_formulas_are_single_source():
+    assert formulas.mpki is formulas.per_kilo
+    assert formulas.ipc(0, 0) == 0.0 and formulas.ipc(10, 4) == 2.5
+    assert formulas.per_kilo(5, 1000) == 5.0
+    assert formulas.average_latency(90, 0) == 90.0  # max(1, .) guard
+    assert formulas.fraction_of_total(0) == 0.0
+    assert formulas.fraction_of_total(1, 1, 2) == 0.25
+    for name, (inputs, fn) in formulas.STANDARD_FORMULAS.items():
+        assert callable(fn) and isinstance(inputs, tuple), name
+
+
+# ---------------------------------------------------------------------------
+# StatsView facade
+# ---------------------------------------------------------------------------
+
+class _View(StatsView):
+    _FIELDS = {"instructions": "t.instructions", "cycles": "t.cycles"}
+    _DERIVED = {"ipc": "t.ipc"}
+    _FORMULAS = (("t.ipc", ("t.instructions", "t.cycles"), formulas.ipc),)
+
+
+def test_statsview_reads_and_writes_through_registry():
+    reg = MetricRegistry()
+    view = _View(reg)
+    view.instructions = 120
+    reg.counter("t.cycles").add(60)
+    assert view.instructions == 120 and view.cycles == 60
+    assert view.ipc == pytest.approx(2.0)
+    assert reg.value("t.instructions") == 120
+    # cell() exposes the raw counter for hot-loop aliasing.
+    cell = view.cell("instructions")
+    cell.value += 30
+    assert view.instructions == 150
+
+
+def test_statsview_standalone_and_equality():
+    a, b = _View(), _View()  # no registry -> private one each
+    assert a.registry is not b.registry
+    assert a == b
+    a.instructions = 7
+    assert a != b
+    b.instructions = 7
+    assert a == b
+    assert a.__hash__ is None
+
+
+# ---------------------------------------------------------------------------
+# Windowed collection on a real simulation
+# ---------------------------------------------------------------------------
+
+def _run(interval=2000, seed=9, length=6000, gen="M5"):
+    trace = make_trace("specint_like", seed=seed, n_instructions=length)
+    sim = GenerationSimulator(get_generation(gen))
+    return sim, sim.run(trace, window_interval=interval)
+
+
+def test_windows_partition_the_run():
+    _, r = _run()
+    assert [w.index for w in r.windows] == [0, 1, 2]
+    bounds = [(w.start_instruction, w.end_instruction) for w in r.windows]
+    assert bounds == [(0, 2000), (2000, 4000), (4000, 6000)]
+    assert sum(w.metric("core.instructions") for w in r.windows) == 6000
+    for w in r.windows:
+        assert w.metric("core.cycles") > 0
+        assert w.ipc > 0 and w.mpki >= 0 and w.average_load_latency >= 0
+
+
+def test_windows_are_deterministic_and_timing_neutral():
+    _, a = _run()
+    _, b = _run()
+    assert a.windows == b.windows  # same seed -> bit-identical windows
+    _, plain = _run(interval=0)
+    assert plain.windows == []
+    # Recording windows must not perturb the simulated timing.
+    assert plain.ipc == a.ipc and plain.mpki == a.mpki
+    assert plain.average_load_latency == a.average_load_latency
+
+
+def test_every_prerefactor_stat_reads_through_the_registry():
+    sim, r = _run()
+    reg = sim.metrics
+    assert r.core.instructions == reg.value("core.instructions")
+    assert r.core.branch_mispredicts == reg.value("core.branch_mispredicts")
+    assert r.branch.mispredicts == reg.value("frontend.mispredicts")
+    assert r.memory.loads == reg.value("mem.loads")
+    assert r.memory.dram_accesses == reg.value("mem.dram.accesses")
+    assert isinstance(r.memory.dram_accesses, int)  # %d formatting survives
+    assert r.ipc == pytest.approx(reg.value("core.ipc"))
+    assert r.mpki == pytest.approx(reg.value("core.mpki"))
+
+
+def test_window_series_applies_warmup():
+    _, r = _run()
+    full = window_metric_series(r.windows, "ipc", warmup=0)
+    trimmed = r.window_series("ipc", warmup=1)
+    assert trimmed == full[1:]
+    assert window_metric_series(r.windows, "ipc", warmup=99) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine: windows through cache rows, serial == parallel
+# ---------------------------------------------------------------------------
+
+def test_window_interval_is_part_of_the_task_fingerprint():
+    m1 = get_generation("M1")
+    spec = TraceSpec("loop_kernel", 1, 1000)
+    base = task_fingerprint(population_task(m1, spec))
+    assert base != task_fingerprint(
+        population_task(m1, spec, window_interval=500))
+
+
+def test_parallel_population_windows_match_serial():
+    kwargs = dict(n_slices=3, slice_length=4000, seed=17,
+                  generations=("M1", "M6"), cache="off",
+                  window_interval=1000)
+    serial = run_population(workers=1, **kwargs)
+    parallel = run_population(workers=3, **kwargs)
+    assert serial.metrics == parallel.metrics
+    for s, p in zip(serial.metrics, parallel.metrics):
+        assert s.windows and s.windows == p.windows
+    assert serial.window_series("M6", "ipc", warmup=1) == \
+        parallel.window_series("M6", "ipc", warmup=1)
+
+
+# ---------------------------------------------------------------------------
+# Serialization: schema v2 round-trips, v1 compatibility
+# ---------------------------------------------------------------------------
+
+def _one_row():
+    pop = run_population(n_slices=1, slice_length=3000, seed=23,
+                         generations=("M3",), cache="off",
+                         window_interval=1000)
+    return pop, pop.metrics[0]
+
+
+def test_slice_metrics_roundtrip_preserves_windows():
+    _, row = _one_row()
+    assert row.windows
+    d = row.to_dict()
+    assert d["schema"] == RESULT_SCHEMA_VERSION
+    back = SliceMetrics.from_dict(json.loads(json.dumps(d)))
+    assert back == row and back.windows == row.windows
+
+
+def test_schema_one_rows_load_without_windows():
+    _, row = _one_row()
+    legacy = row.to_dict()
+    legacy.pop("schema")
+    legacy.pop("windows")
+    back = SliceMetrics.from_dict(legacy)
+    assert back.windows == [] and back.ipc == row.ipc
+    with pytest.raises(ValueError, match="schema"):
+        SliceMetrics.from_dict({**row.to_dict(),
+                                "schema": RESULT_SCHEMA_VERSION + 1})
+
+
+def test_population_json_carries_schema_and_windows():
+    pop, row = _one_row()
+    text = population_to_json(pop)
+    doc = json.loads(text)
+    assert doc["schema"] == RESULT_SCHEMA_VERSION
+    back = population_from_json(text)
+    assert back.metrics == pop.metrics
+    assert back.metrics[0].windows == row.windows
+    doc["schema"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        population_from_json(json.dumps(doc))
+
+
+def test_window_sample_dict_roundtrip():
+    w = WindowSample(index=2, start_instruction=4000, end_instruction=6000,
+                     values={"core.instructions": 2000,
+                             "core.cycles": 900.5})
+    assert WindowSample.from_dict(w.to_dict()) == w
+
+
+# ---------------------------------------------------------------------------
+# CLI: `python -m repro metrics`
+# ---------------------------------------------------------------------------
+
+def test_cli_metrics_human_dump(capsys):
+    from repro.__main__ import main
+    rc = main(["metrics", "--length", "4000", "--gen", "m4",
+               "--window", "2000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "core" in out and "instructions" in out
+    assert "(formula)" in out and "(gauge)" in out
+    assert "windows (interval=2000" in out and "warmup" in out
+
+
+def test_cli_metrics_json_dump(capsys):
+    from repro.__main__ import main
+    rc = main(["metrics", "--length", "4000", "--gen", "M4",
+               "--window", "2000", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == RESULT_SCHEMA_VERSION
+    assert doc["metrics"]["core.instructions"] == 4000
+    assert len(doc["windows"]) == 2
+    assert len(doc["series"]["ipc"]) == 1  # one warmup window excluded

@@ -268,6 +268,50 @@ def test_sim009_quiet_on_parameterized_annotations():
 
 
 # ---------------------------------------------------------------------------
+# SIM010: plain sum() over float series in aggregation layers
+# ---------------------------------------------------------------------------
+
+FSUM_PATH = "src/repro/harness/figures.py"
+
+
+def test_sim010_fires_on_float_sums_in_fsum_paths():
+    found = check("m = sum(vals) / len(vals)\n", "SIM010", path=FSUM_PATH)
+    assert [f.rule for f in found] == ["SIM010"]
+    assert found[0].severity == "warning"
+    assert "math.fsum" in found[0].message
+    assert check("t = sum(r['mpki'] for r in rows)\n", "SIM010",
+                 path=FSUM_PATH)
+    assert check("s = sum([a / b for a, b in pairs])\n", "SIM010",
+                 path=FSUM_PATH)
+
+
+def test_sim010_fires_on_float_start_value():
+    assert check("s = sum((len(x) for x in xs), 0.0)\n", "SIM010",
+                 path=FSUM_PATH)
+
+
+def test_sim010_quiet_on_provably_integral_sums():
+    good = """\
+        n = sum(len(t) for t in traces)
+        ones = sum(1 for t in traces if t)
+        total = sum((len(t) for t in traces), 0)
+        mix = sum(len(t) * 2 - 1 for t in traces)
+    """
+    assert check(good, "SIM010", path=FSUM_PATH) == []
+
+
+def test_sim010_quiet_outside_fsum_paths():
+    assert check("m = sum(vals) / len(vals)\n", "SIM010",
+                 path="src/repro/core/scoreboard.py") == []
+
+
+def test_sim010_defers_set_and_values_sums_to_sim004():
+    src = "a = sum({1.0, 2.0})\nb = sum(d.values())\n"
+    assert check(src, "SIM010", path=FSUM_PATH) == []
+    assert check(src, "SIM004", path=FSUM_PATH)
+
+
+# ---------------------------------------------------------------------------
 # Suppression comments
 # ---------------------------------------------------------------------------
 
