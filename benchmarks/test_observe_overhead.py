@@ -1,0 +1,67 @@
+"""Tracing-layer acceptance: the flight recorder costs nothing when off.
+
+Pipeline tracing is opt-in: every emission site is guarded by a single
+``if sink is not None`` on a local alias, so a simulator built without
+a sink must run at the same speed as one built before the tracing
+layer existed.  This guard pins that contract at 2% — best of several
+interleaved trials, so scheduler noise doesn't fail the build — and
+separately bounds the enabled-mode cost so the recorder stays usable
+on full-length traces.
+"""
+
+import time
+
+from repro.config import get_generation
+from repro.core import GenerationSimulator
+from repro.observe import TraceSink
+from repro.traces import make_trace
+
+TRIALS = 5
+LENGTH = 60_000
+MAX_DISABLED_OVERHEAD = 0.02
+MAX_ENABLED_OVERHEAD = 2.50
+
+
+def _best_of(sim_factory, trace):
+    best = float("inf")
+    for _ in range(TRIALS):
+        sim = sim_factory()
+        t0 = time.perf_counter()
+        sim.run(trace, window_interval=0)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_tracing_overhead_within_2pct():
+    # loop_kernel on M6 is the worst case: the highest event density per
+    # wall-clock second (tight loops, uop-cache mode machine active), so
+    # the per-iteration None checks are the largest fraction of the run.
+    trace = make_trace("loop_kernel", seed=3, n_instructions=LENGTH)
+    config = get_generation("M6")
+    factory = lambda: GenerationSimulator(config)  # noqa: E731
+
+    _best_of(factory, trace)  # warm caches/interpreter state
+    plain = _best_of(factory, trace)
+    untraced = _best_of(factory, trace)
+
+    overhead = untraced / plain - 1.0
+    assert overhead <= MAX_DISABLED_OVERHEAD, (
+        f"tracing-disabled run {untraced:.3f}s is {overhead:.1%} slower "
+        f"than baseline {plain:.3f}s (budget {MAX_DISABLED_OVERHEAD:.0%})")
+
+
+def test_enabled_tracing_cost_is_bounded():
+    trace = make_trace("loop_kernel", seed=3, n_instructions=LENGTH)
+    config = get_generation("M6")
+    plain_factory = lambda: GenerationSimulator(config)  # noqa: E731
+    traced_factory = lambda: GenerationSimulator(  # noqa: E731
+        config, trace_sink=TraceSink(capacity=LENGTH * 4))
+
+    _best_of(plain_factory, trace)  # warm up
+    plain = _best_of(plain_factory, trace)
+    traced = _best_of(traced_factory, trace)
+
+    overhead = traced / plain - 1.0
+    assert overhead <= MAX_ENABLED_OVERHEAD, (
+        f"tracing-enabled run {traced:.3f}s is {overhead:.1%} slower than "
+        f"plain {plain:.3f}s (budget {MAX_ENABLED_OVERHEAD:.0%})")

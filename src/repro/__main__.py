@@ -21,6 +21,11 @@ Commands:
     ``frontend.*`` / ``mem.*`` / ``uoc.*`` / ``energy.*`` counter,
     gauge and formula) plus its per-window IPC/MPKI series — human
     layout by default, a schema-versioned document with ``--json``.
+    ``--diff A.json B.json`` compares two saved documents instead.
+``pipeview``
+    Flight-record one run and render the gem5-o3-pipeview-style ASCII
+    pipeline timeline; ``--chrome out.json`` exports the same events as
+    a Chrome/Perfetto trace, ``--save out.jsonl`` dumps raw events.
 ``lint``
     Run simlint, the determinism & simulation-safety static analysis
     (rule catalog in ``docs/analysis.md``), over the given paths.
@@ -113,10 +118,13 @@ def _cmd_population(args: argparse.Namespace) -> int:
     from .harness import (figure9_mpki, figure16_load_latency, figure17_ipc,
                           figure_windowed_ipc, overall_summary,
                           render_curves)
+    kwargs = _engine_kwargs(args)
+    if args.profile:
+        # Cached tasks carry no timings; profiling wants executed ones.
+        kwargs["cache"] = "off"
     pop, stats = execute_population(n_slices=args.slices,
                                     slice_length=args.length,
-                                    seed=args.seed,
-                                    **_engine_kwargs(args))
+                                    seed=args.seed, **kwargs)
     print(render_curves(figure17_ipc(pop), "FIG 17 - IPC per slice"))
     print()
     print(render_curves(figure9_mpki(pop),
@@ -135,6 +143,10 @@ def _cmd_population(args: argparse.Namespace) -> int:
     print(f"  IPC growth/yr: {s['summary']['ipc_growth_per_year_pct']:.1f}% "
           f"(paper 20.6%)")
     print(f"  engine: {stats.describe()}", file=sys.stderr)
+    if args.profile:
+        from .observe import describe_profile
+        print()
+        print(describe_profile(stats, top=args.profile_top))
     return 0
 
 
@@ -172,11 +184,28 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from .engine.results import RESULT_SCHEMA_VERSION
     from .metrics import window_metric_series
 
+    if args.diff:
+        from .metrics import diff_metric_documents, render_metric_diff
+        path_a, path_b = args.diff
+        with open(path_a) as f:
+            doc_a = json.load(f)
+        with open(path_b) as f:
+            doc_b = json.load(f)
+        diff = diff_metric_documents(doc_a, doc_b)
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_metric_diff(diff, top=args.top))
+        return 0
+
     spec = TraceSpec(args.family, args.seed, args.length)
     trace = spec.build()
     gen = args.gen.upper()
+    counters = (tuple(args.window_counters.split(","))
+                if args.window_counters else None)
     sim = GenerationSimulator(get_generation(gen))
-    r = sim.run(trace, window_interval=args.window)
+    r = sim.run(trace, window_interval=args.window,
+                window_counters=counters)
 
     if args.json:
         doc = {
@@ -212,6 +241,47 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             print(f"  {w.index:3d} {w.start_instruction:6d}-"
                   f"{w.end_instruction:<6d} {w.ipc:7.3f} {w.mpki:7.2f} "
                   f"{w.average_load_latency:9.1f}{tag}")
+    return 0
+
+
+def _cmd_pipeview(args: argparse.Namespace) -> int:
+    from .core import GenerationSimulator
+    from .observe import (TraceSink, chrome_trace_json, events_to_jsonl,
+                          render_event_log, render_pipeview)
+
+    try:
+        family, seed, length = args.spec.split(":")
+        spec = TraceSpec(family, int(seed), int(length))
+    except ValueError:
+        print(f"bad trace spec {args.spec!r}; expected family:seed:length "
+              f"(e.g. specint_like:1:8000)", file=sys.stderr)
+        return 2
+    trace = spec.build()
+    gen = args.gen.upper()
+    sink = TraceSink(capacity=args.capacity)
+    sim = GenerationSimulator(get_generation(gen), trace_sink=sink)
+    r = sim.run(trace, window_interval=0)
+    events = r.events
+
+    print(f"{gen} on {trace.name}: {len(trace)} uops, ipc {r.ipc:.3f}; "
+          f"{sink.emitted} events recorded"
+          + (f" ({sink.dropped} dropped, oldest first)" if sink.dropped
+             else ""))
+    if args.events:
+        print(render_event_log(events, limit=args.count))
+    else:
+        print(render_pipeview(events, start=args.start, count=args.count,
+                              width=args.width))
+    if args.chrome:
+        with open(args.chrome, "w") as f:
+            f.write(chrome_trace_json(events))
+        print(f"chrome trace written to {args.chrome} "
+              f"(load in chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.save:
+        with open(args.save, "w") as f:
+            f.write(events_to_jsonl(events) + "\n")
+        print(f"events written to {args.save}", file=sys.stderr)
     return 0
 
 
@@ -256,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
     pop.add_argument("--slices", type=int, default=24)
     pop.add_argument("--length", type=int, default=12_000)
     pop.add_argument("--seed", type=int, default=2020)
+    pop.add_argument("--profile", action="store_true",
+                     help="report engine phase/task wall-time breakdown "
+                          "(forces --no-cache so tasks actually execute)")
+    pop.add_argument("--profile-top", type=int, default=10,
+                     help="slowest tasks to list with --profile")
     _add_engine_flags(pop)
     pop.set_defaults(func=_cmd_population)
 
@@ -289,7 +364,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="windows to mark/exclude as warmup")
     met.add_argument("--json", action="store_true",
                      help="emit the schema-versioned JSON document")
+    met.add_argument("--window-counters", default=None,
+                     help="comma-separated registry counters the window "
+                          "series should snapshot (default: standard five)")
+    met.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                     default=None,
+                     help="diff two saved --json documents instead of "
+                          "running a simulation")
+    met.add_argument("--top", type=int, default=0,
+                     help="with --diff: keep only the N largest relative "
+                          "movers (0 = all, lexicographic)")
     met.set_defaults(func=_cmd_metrics)
+
+    pv = sub.add_parser(
+        "pipeview", help="flight-recorded pipeline timeline (gem5-"
+                         "o3-pipeview-style) + Chrome/Perfetto export")
+    pv.add_argument("spec", help="trace spec as family:seed:length, "
+                                 "e.g. specint_like:1:8000")
+    pv.add_argument("--gen", default="M6", help="M1..M6")
+    pv.add_argument("--start", type=int, default=0,
+                    help="first trace index to render")
+    pv.add_argument("--count", type=int, default=40,
+                    help="instructions (or events with --events) to render")
+    pv.add_argument("--width", type=int, default=48,
+                    help="timeline band width in columns")
+    pv.add_argument("--capacity", type=int, default=262_144,
+                    help="flight-recorder ring capacity (oldest events "
+                         "drop beyond it)")
+    pv.add_argument("--events", action="store_true",
+                    help="flat event log instead of the stage timeline")
+    pv.add_argument("--chrome", default=None, metavar="OUT.json",
+                    help="also export a Chrome trace-event JSON")
+    pv.add_argument("--save", default=None, metavar="OUT.jsonl",
+                    help="also dump the raw event stream as JSONL")
+    pv.set_defaults(func=_cmd_pipeview)
 
     lint = sub.add_parser(
         "lint", help="simlint: determinism & simulation-safety checks")

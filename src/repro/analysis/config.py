@@ -29,7 +29,8 @@ class LintConfig:
     exclude: Tuple[str, ...] = ("__pycache__", ".git", "build", "dist",
                                 ".venv", ".eggs")
     #: Paths allowed to read wall clocks (SIM002) — engine stats only.
-    wallclock_allow: Tuple[str, ...] = ("src/repro/engine/runner.py",)
+    wallclock_allow: Tuple[str, ...] = ("src/repro/engine/runner.py",
+                                        "src/repro/engine/tasks.py")
     #: Paths allowed to use pickle/eval-class serialization (SIM008).
     serialization_allow: Tuple[str, ...] = ("src/repro/serialization.py",)
     #: Paths where even ``except Exception`` is too broad (SIM007);

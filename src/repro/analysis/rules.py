@@ -526,6 +526,66 @@ class FloatSumRule(ASTRule):
                 "independent) or prove the series integral")
 
 
+class IterationOrderRule(ASTRule):
+    """SIM011: implicit "first/last element" reads of iteration order.
+
+    ``d.popitem()`` with no arguments pops whichever item the mapping
+    considers last, and ``next(iter(x))`` grabs whichever comes first —
+    both encode "the order this container happened to be filled in" into
+    a result.  That order is exactly what varies when tasks are sharded
+    differently across workers (each worker fills its memos in its own
+    arrival order), so the read is a determinism hazard even though each
+    single process is self-consistent.  The deliberate forms stay legal:
+    ``OrderedDict.popitem(last=False)`` names the LRU-eviction end
+    explicitly (the idiom every bounded table in this repo uses), and
+    ``next(iter(sorted(...)))`` pins an order first.
+    """
+
+    id = "SIM011"
+    name = "iteration-order"
+    severity = "error"
+    description = ("implicit iteration-order read (bare .popitem() / "
+                   "next(iter(...))); name the end or sort first")
+
+    def _is_sorted_call(self, node: ast.AST, ctx: FileContext) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        qn = ctx.qualname(node.func)
+        if qn == "sorted":
+            return True
+        # reversed() only pins an order if what it reverses is pinned.
+        return (qn == "reversed" and node.args
+                and self._is_sorted_call(node.args[0], ctx))
+
+    def check(self, ctx: FileContext,
+              config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "popitem" and \
+                    not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    ".popitem() with no arguments pops the insertion-"
+                    "order end implicitly; pass last=True/False to name "
+                    "the end you mean (or pop a sorted key)")
+                continue
+            if ctx.qualname(node.func) != "next" or not node.args:
+                continue
+            inner = node.args[0]
+            if isinstance(inner, ast.Call) and \
+                    ctx.qualname(inner.func) == "iter" and inner.args:
+                if self._is_sorted_call(inner.args[0], ctx):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "next(iter(...)) reads whichever element iteration "
+                    "yields first — insertion/hash order; use "
+                    "next(iter(sorted(...))) or index an explicit "
+                    "ordering")
+
+
 AST_RULES = (
     UnseededRandomRule(),
     WallClockRule(),
@@ -536,4 +596,5 @@ AST_RULES = (
     UnsafeSerializationRule(),
     BareContainerAnnotationRule(),
     FloatSumRule(),
+    IterationOrderRule(),
 )

@@ -36,6 +36,8 @@ from ..frontend.predictor import BranchUnit
 from ..memory.hierarchy import MemoryHierarchy
 from ..metrics import formulas
 from ..metrics.registry import MetricRegistry, StatsView
+from ..observe.events import InstEvent
+from ..observe.sink import TraceSink
 from ..traces.types import Kind, Trace, TraceRecord
 
 #: Execution latencies (cycles) for non-memory, non-FP classes.
@@ -95,10 +97,14 @@ class Scoreboard:
                  branch_unit: Optional[BranchUnit] = None,
                  memory: Optional[MemoryHierarchy] = None,
                  icache=None,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 sink: Optional[TraceSink] = None) -> None:
         self.config = config
         self.branch_unit = branch_unit
         self.memory = memory
+        #: Optional flight recorder; ``None`` (the default) disables
+        #: tracing at the cost of one branch per instruction.
+        self.sink = sink
         #: Optional InstructionCache; fetch-group line crossings that miss
         #: stall the front end.
         self.icache = icache
@@ -196,9 +202,17 @@ class Scoreboard:
         # Window countdown; 0 disables windowing entirely.
         windowing = window_interval > 0 and on_window is not None
         until_window = window_interval if windowing else -1
+        # Flight recorder (None = tracing off).  Tracing only *reads*
+        # values the loop computed anyway, so attaching a sink never
+        # changes simulated timing.
+        trc = self.sink
+        ev_ic_stall = 0.0
 
         for i, rec in enumerate(trace):
             c_instr.value += 1
+            if trc is not None:
+                ev_ic_stall = 0.0
+                ev_branch = None
 
             # ---- fetch/dispatch supply -----------------------------------
             if group_count >= cfg.fetch_width:
@@ -215,7 +229,11 @@ class Scoreboard:
                         c_ic_stall.value += stall
                         group_count = 0
                         group_branches = 0
+                        if trc is not None:
+                            ev_ic_stall = stall
             dispatch = fetch_time
+            if trc is not None:
+                ev_fetch = dispatch  # fetch supply before ROB backpressure
             # ROB occupancy: the slot reused now must have retired.
             oldest = rob[rob_pos]
             if oldest > dispatch:
@@ -276,7 +294,12 @@ class Scoreboard:
             if rec.is_branch:
                 group_branches += 1
                 if self.branch_unit is not None:
-                    result = self.branch_unit.process_branch(rec)
+                    if trc is not None:
+                        result = self.branch_unit.process_branch(
+                            rec, now=completion)
+                        ev_branch = result
+                    else:
+                        result = self.branch_unit.process_branch(rec)
                     if result.mispredicted:
                         c_mispredicts.value += 1
                         restart = completion + cfg.mispredict_penalty
@@ -304,6 +327,34 @@ class Scoreboard:
                         fetch_time += 1.0
                         group_count = 0
                         group_branches = 0
+
+            # ---- flight recorder -----------------------------------------
+            if trc is not None:
+                # Stall attribution mirrors the interval model's CPI
+                # buckets; priority mispredict > front end > memory.
+                bucket = "base"
+                stall = 0.0
+                if ev_ic_stall:
+                    bucket = "frontend_bubbles"
+                    stall = ev_ic_stall
+                if rec.kind == Kind.LOAD:
+                    exposed = latency - cfg.l1_hit_latency
+                    if exposed > stall:
+                        bucket = "memory"
+                        stall = exposed
+                if ev_branch is not None:
+                    if ev_branch.mispredicted:
+                        bucket = "mispredict"
+                        stall = float(cfg.mispredict_penalty)
+                    elif ev_branch.bubbles > stall:
+                        bucket = "frontend_bubbles"
+                        stall = float(ev_branch.bubbles)
+                trc.emit(InstEvent(
+                    seq=-1, cycle=completion, index=i, pc=rec.pc,
+                    kind=rec.kind.name, fetch=ev_fetch, dispatch=dispatch,
+                    ready=ready, issue=issue, complete=completion,
+                    retire=completion, stall=bucket,
+                    stall_cycles=float(stall)))
 
             # ---- metrics window boundary ---------------------------------
             if windowing:

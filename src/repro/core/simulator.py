@@ -16,7 +16,7 @@ warmup-excludable IPC/MPKI time-series analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..config import GenerationConfig, get_generation
 from ..frontend.predictor import BranchStats, BranchUnit
@@ -24,6 +24,8 @@ from ..memory.hierarchy import MemoryHierarchy, MemoryStats
 from ..memory.icache import InstructionCache
 from ..metrics import (DEFAULT_WINDOW_INSTRUCTIONS, MetricRegistry,
                        WindowRecorder, WindowSample, window_metric_series)
+from ..observe.events import TraceEvent
+from ..observe.sink import TraceSink
 from ..power import EnergyLedger
 from ..traces.types import Trace
 from ..uop_cache import UocController, UocMode, UopCache
@@ -46,6 +48,9 @@ class SimulationResult:
     #: The shared registry behind the stats views (None for results
     #: reconstructed from serialized records).
     metrics: Optional[MetricRegistry] = None
+    #: Flight-recorder event stream (empty unless the simulator was
+    #: built with a ``trace_sink``).
+    events: List[TraceEvent] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -71,45 +76,60 @@ class GenerationSimulator:
     meaningful on generations whose L2 is shared, Table I).
     """
 
-    def __init__(self, config: GenerationConfig, corunners: int = 0) -> None:
+    def __init__(self, config: GenerationConfig, corunners: int = 0,
+                 trace_sink: Optional[TraceSink] = None) -> None:
         if isinstance(config, str):
             config = get_generation(config)
         self.config = config
         self.metrics = MetricRegistry()
+        #: Optional flight recorder shared by every component; ``None``
+        #: (the default) keeps all emission sites disabled.
+        self.trace_sink = trace_sink
         self.ledger = EnergyLedger(registry=self.metrics)
         self.branch_unit = BranchUnit(config, ledger=self.ledger,
-                                      registry=self.metrics)
+                                      registry=self.metrics,
+                                      sink=trace_sink)
         self.memory = MemoryHierarchy(config, ledger=self.ledger,
                                       corunners=corunners,
-                                      registry=self.metrics)
+                                      registry=self.metrics,
+                                      sink=trace_sink)
         self.uoc: Optional[UocController] = None
         if config.uoc_uops:
             self.uoc = UocController(
                 UopCache(config.uoc_uops, config.uoc_uops_per_cycle),
                 ledger=self.ledger,
                 registry=self.metrics,
+                sink=trace_sink,
             )
         self.icache = InstructionCache(config, self.memory)
         self.scoreboard = Scoreboard(config, branch_unit=self.branch_unit,
                                      memory=self.memory,
                                      icache=self.icache,
-                                     registry=self.metrics)
+                                     registry=self.metrics,
+                                     sink=trace_sink)
 
     def run(self, trace: Trace, *,
             window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+            window_counters: Optional[Sequence[str]] = None,
             ) -> SimulationResult:
         """Simulate one trace slice end to end.
 
         ``window_interval`` > 0 records a :class:`WindowSample` every
         that many retired instructions (plus a final partial window);
-        0 disables windowed collection.  Windowing reads counters the
-        scoreboard maintains anyway, so timing results are identical
-        either way.
+        0 disables windowed collection.  ``window_counters`` selects
+        which registry counters each window snapshots (default: the
+        standard :data:`~repro.metrics.WINDOW_COUNTERS` five).
+        Windowing reads counters the scoreboard maintains anyway, so
+        timing results are identical either way.
         """
         recorder: Optional[WindowRecorder] = None
         on_window = None
         if window_interval > 0:
-            recorder = WindowRecorder(self.metrics, window_interval)
+            if window_counters is not None:
+                recorder = WindowRecorder(self.metrics, window_interval,
+                                          counters=tuple(window_counters))
+            else:
+                recorder = WindowRecorder(self.metrics, window_interval)
             on_window = recorder.take
         core = self.scoreboard.run(trace, on_window=on_window,
                                    window_interval=window_interval)
@@ -135,6 +155,8 @@ class GenerationSimulator:
             uoc_fetch_fraction=fetch_frac,
             windows=windows,
             metrics=self.metrics,
+            events=(self.trace_sink.events()
+                    if self.trace_sink is not None else []),
         )
 
     def _drive_uoc(self, trace: Trace) -> None:

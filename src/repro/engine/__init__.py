@@ -44,7 +44,10 @@ from .runner import (  # noqa: F401
 from .tasks import (  # noqa: F401
     ENGINE_SCHEMA_VERSION,
     execute_task,
+    execute_task_timed,
     ghist_task,
+    pipetrace_task,
     population_task,
     task_fingerprint,
+    task_label,
 )

@@ -17,18 +17,20 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..config import (GENERATION_ORDER, GenerationConfig, get_generation)
 from ..metrics.windows import DEFAULT_WINDOW_INSTRUCTIONS
+from ..observe.profile import TaskTiming
 from ..traces.spec import TraceLike, TraceSpec, coerce_spec
 from ..traces.types import Trace
 from ..traces.workloads import standard_suite_specs
 from .cache import TaskCache, clear_memory
 from .results import PopulationResult, SliceMetrics
-from .tasks import execute_task, population_task, task_fingerprint
+from .tasks import (execute_task_timed, population_task, task_fingerprint,
+                    task_label)
 
 ProgressFn = Callable[[int, int], None]
 
@@ -43,6 +45,10 @@ class EngineStats:
     wall_seconds: float = 0.0
     workers: int = 1
     cache_mode: str = "memory"
+    #: Wall seconds per engine phase (:data:`repro.observe.PHASES`).
+    phase_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Per-executed-task wall times (empty when everything was cached).
+    task_timings: List[TaskTiming] = field(default_factory=list)
 
     @property
     def tasks_per_second(self) -> float:
@@ -90,6 +96,8 @@ class PopulationEngine:
         total = len(payloads)
         results: List[Optional[Dict[str, Any]]] = [None] * total
         fingerprints = [task_fingerprint(p) for p in payloads]
+        t_lookup = time.perf_counter()
+        fingerprint_s = t_lookup - t0
         done = 0
 
         missing: List[int] = []
@@ -101,13 +109,21 @@ class PopulationEngine:
                 self._report(done, total)
             else:
                 missing.append(i)
+        t_exec = time.perf_counter()
+        lookup_s = t_exec - t_lookup
 
+        store_s = 0.0
+        timings: List[TaskTiming] = []
         if missing:
-            for i, result in self._execute(payloads, missing):
+            for i, result, seconds in self._execute(payloads, missing):
                 results[i] = result
+                timings.append(TaskTiming(task_label(payloads[i]), seconds))
+                ts = time.perf_counter()
                 self.cache.put(fingerprints[i], result)
+                store_s += time.perf_counter() - ts
                 done += 1
                 self._report(done, total)
+        execute_s = max(0.0, time.perf_counter() - t_exec - store_s)
 
         stats = EngineStats(
             tasks_total=total,
@@ -116,16 +132,26 @@ class PopulationEngine:
             wall_seconds=time.perf_counter() - t0,
             workers=self.workers,
             cache_mode=self.cache.mode,
+            phase_breakdown={
+                "fingerprint": fingerprint_s,
+                "cache_lookup": lookup_s,
+                "execute": execute_s,
+                "cache_store": store_s,
+            },
+            task_timings=timings,
         )
         self.last_stats = stats
         return [r for r in results if r is not None], stats
 
     def _execute(self, payloads: Sequence[Dict[str, Any]],
                  missing: Sequence[int]):
-        """Yield ``(index, result)`` for every cache-missing payload."""
+        """Yield ``(index, result, wall seconds)`` for every
+        cache-missing payload.  The per-task seconds are measured inside
+        the process that ran the task (worker-side under the pool)."""
         if self.workers <= 1 or len(missing) <= 1:
             for i in missing:
-                yield i, execute_task(payloads[i])
+                result, seconds = execute_task_timed(payloads[i])
+                yield i, result, seconds
             return
         n_workers = min(self.workers, len(missing))
         # Contiguous chunks keep same-trace tasks on the same worker so
@@ -133,10 +159,11 @@ class PopulationEngine:
         chunksize = max(1, len(missing) // (n_workers * 4))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             ordered = [payloads[i] for i in missing]
-            for i, result in zip(missing,
-                                 pool.map(execute_task, ordered,
-                                          chunksize=chunksize)):
-                yield i, result
+            for i, (result, seconds) in zip(
+                    missing,
+                    pool.map(execute_task_timed, ordered,
+                             chunksize=chunksize)):
+                yield i, result, seconds
 
     def _report(self, done: int, total: int) -> None:
         if self.progress is not None:
@@ -151,7 +178,8 @@ class PopulationEngine:
 #: successor of the old ``harness.population._CACHE`` module global.
 #: Lets several benches share one ``PopulationResult`` *object* within a
 #: process, on top of the per-task result cache.
-_PopulationKey = Tuple[int, int, int, Tuple[str, ...], int]
+_PopulationKey = Tuple[int, int, int, Tuple[str, ...], int,
+                       Optional[Tuple[str, ...]]]
 _POPULATION_MEMO: Dict[_PopulationKey, PopulationResult] = {}
 
 
@@ -174,6 +202,7 @@ def execute_population(
     cache_dir: Optional[os.PathLike] = None,
     progress: Optional[ProgressFn] = None,
     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+    window_counters: Optional[Sequence[str]] = None,
 ) -> Tuple[PopulationResult, EngineStats]:
     """Run the standard suite on each generation, returning result+stats.
 
@@ -181,11 +210,16 @@ def execute_population(
     then M2's, ...), matching the historical serial implementation;
     ``workers`` only shards execution and never changes the result.
     ``window_interval`` controls per-slice metric windows (0 disables
-    them); like ``workers``, it never perturbs the timing results.
+    them) and ``window_counters`` selects which registry counters each
+    window snapshots (default: the standard five); like ``workers``,
+    neither ever perturbs the timing results.
     """
     gens = tuple(generations) if generations else GENERATION_ORDER
     configs = [get_generation(g) for g in gens]
-    memo_key = (n_slices, slice_length, seed, gens, window_interval)
+    counters = (tuple(window_counters)
+                if window_counters is not None else None)
+    memo_key = (n_slices, slice_length, seed, gens, window_interval,
+                counters)
     if cache != "off":
         memoized = _POPULATION_MEMO.get(memo_key)
         if memoized is not None:
@@ -204,7 +238,8 @@ def execute_population(
     # Trace-major submission order: the per-worker trace memo then sees
     # all generations of one trace back to back.
     payloads = [population_task(config, spec,
-                                window_interval=window_interval)
+                                window_interval=window_interval,
+                                window_counters=counters)
                 for spec in specs for config in configs]
     engine = PopulationEngine(workers=workers, cache=cache,
                               cache_dir=cache_dir, progress=progress)
@@ -232,6 +267,7 @@ def run_population(
     cache_dir: Optional[os.PathLike] = None,
     progress: Optional[ProgressFn] = None,
     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+    window_counters: Optional[Sequence[str]] = None,
 ) -> PopulationResult:
     """Simulate the standard suite on each generation.
 
@@ -240,13 +276,14 @@ def run_population(
     curves, ``workers=N`` (or ``None`` for one per CPU) to shard the
     task matrix across processes, and ``cache="disk"`` to persist
     per-task results under ``~/.cache/repro`` so repeated runs skip
-    simulation entirely.
+    simulation entirely.  ``window_counters`` customizes which registry
+    counters the per-window series snapshot.
     """
     result, _ = execute_population(
         n_slices=n_slices, slice_length=slice_length, seed=seed,
         generations=generations, workers=workers, cache=cache,
         cache_dir=cache_dir, progress=progress,
-        window_interval=window_interval)
+        window_interval=window_interval, window_counters=window_counters)
     return result
 
 

@@ -15,6 +15,12 @@ Task kinds:
 ``"ghist"``
     One Figure 1 measurement: conditional MPKI of a standalone SHP with a
     given GHIST hash range over one trace.
+``"pipetrace"``
+    One flight-recorded run: the same full-simulator pass as
+    ``"population"`` but with a :class:`~repro.observe.TraceSink`
+    attached; the result carries the serialized event stream.  Because
+    events flow through the ordinary task machinery, the determinism
+    tests can compare serial vs. worker event streams byte for byte.
 
 The fingerprint of a task hashes its *entire* payload (full nested config
 dict included) together with the package version and an engine schema
@@ -26,8 +32,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from collections import OrderedDict
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..config import GenerationConfig
@@ -38,13 +45,16 @@ from ..traces.types import Trace
 
 #: Bump when the result payload format or task semantics change.
 #: History: 1 = flat scalar rows; 2 = schema-versioned rows carrying
-#: per-window metric series (window_interval joined the payload).
-ENGINE_SCHEMA_VERSION = 2
+#: per-window metric series (window_interval joined the payload);
+#: 3 = configurable window counters joined the population payload and
+#: the "pipetrace" task kind landed.
+ENGINE_SCHEMA_VERSION = 3
 
 
 def population_task(config: GenerationConfig, spec: TraceSpec,
                     corunners: int = 0,
                     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+                    window_counters: Optional[Sequence[str]] = None,
                     ) -> Dict[str, Any]:
     return {
         "kind": "population",
@@ -52,6 +62,21 @@ def population_task(config: GenerationConfig, spec: TraceSpec,
         "trace": spec.to_dict(),
         "corunners": corunners,
         "window_interval": window_interval,
+        "window_counters": (list(window_counters)
+                            if window_counters is not None else None),
+    }
+
+
+def pipetrace_task(config: GenerationConfig, spec: TraceSpec,
+                   corunners: int = 0,
+                   capacity: int = 65536) -> Dict[str, Any]:
+    """One flight-recorded simulator run (events in the result)."""
+    return {
+        "kind": "pipetrace",
+        "config": config_to_dict(config),
+        "trace": spec.to_dict(),
+        "corunners": corunners,
+        "capacity": capacity,
     }
 
 
@@ -111,8 +136,11 @@ def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     config = config_from_dict(payload["config"])
     trace = _build_trace(payload["trace"])
     sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
-    r = sim.run(trace, window_interval=payload.get(
-        "window_interval", DEFAULT_WINDOW_INSTRUCTIONS))
+    counters = payload.get("window_counters")
+    r = sim.run(trace,
+                window_interval=payload.get(
+                    "window_interval", DEFAULT_WINDOW_INSTRUCTIONS),
+                window_counters=counters)
     stack = estimate_from_simulation(r).cpi_stack
     row = SliceMetrics(
         trace_name=trace.name,
@@ -144,10 +172,49 @@ def _run_ghist_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"conditional_mpki": measure_conditional_mpki(shp, trace)}
 
 
+def _run_pipetrace_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from ..core import GenerationSimulator
+    from ..observe.sink import TraceSink
+
+    config = config_from_dict(payload["config"])
+    trace = _build_trace(payload["trace"])
+    sink = TraceSink(capacity=payload.get("capacity", 65536))
+    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0),
+                              trace_sink=sink)
+    r = sim.run(trace, window_interval=0)
+    return {
+        "generation": config.name,
+        "trace_name": trace.name,
+        "cycles": r.core.cycles,
+        "ipc": r.ipc,
+        "emitted": sink.emitted,
+        "dropped": sink.dropped,
+        "events": [e.to_dict() for e in r.events],
+    }
+
+
 _EXECUTORS = {
     "population": _run_population_task,
     "ghist": _run_ghist_task,
+    "pipetrace": _run_pipetrace_task,
 }
+
+
+def task_label(payload: Dict[str, Any]) -> str:
+    """Short human label for one payload (profiling reports)."""
+    kind = payload.get("kind", "?")
+    parts = [str(kind)]
+    config = payload.get("config")
+    if isinstance(config, dict) and config.get("name"):
+        parts.append(str(config["name"]))
+    spec = payload.get("trace")
+    if isinstance(spec, dict):
+        fam = spec.get("family", "?")
+        parts.append(f"{fam}/s{spec.get('seed', '?')}"
+                     f"x{spec.get('n_instructions', '?')}")
+    if kind == "ghist":
+        parts.append(f"ghist={payload.get('ghist_bits')}")
+    return " ".join(parts)
 
 
 def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -157,3 +224,16 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     except KeyError:
         raise ValueError(f"unknown task kind {payload.get('kind')!r}")
     return runner(payload)
+
+
+def execute_task_timed(payload: Dict[str, Any]
+                       ) -> Tuple[Dict[str, Any], float]:
+    """Like :func:`execute_task`, also returning the task's wall seconds.
+
+    The timing travels *next to* the result, never inside it, so cached
+    result payloads stay bit-identical run to run.  Host-side profiling
+    only — simulated timing comes exclusively from the payload.
+    """
+    t0 = time.perf_counter()
+    result = execute_task(payload)
+    return result, time.perf_counter() - t0

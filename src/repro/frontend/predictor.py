@@ -21,6 +21,8 @@ from typing import Callable, Optional
 from ..config import GenerationConfig
 from ..metrics import formulas
 from ..metrics.registry import MetricRegistry, StatsView
+from ..observe.events import BranchEvent
+from ..observe.sink import TraceSink
 from ..power import EnergyLedger
 from ..traces.types import Kind, Trace, TraceRecord
 from .accel import RedirectAccelerator
@@ -105,10 +107,17 @@ class BranchUnit:
                  ledger: Optional[EnergyLedger] = None,
                  encrypt: Optional[Callable[[int], int]] = None,
                  decrypt: Optional[Callable[[int], int]] = None,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 sink: Optional[TraceSink] = None) -> None:
         self.config = config
         bp = config.branch
         self.stats = BranchStats(registry)
+        #: Optional flight recorder for branch-resolution events.
+        self.sink = sink
+        #: (predicted_taken, predicted_target) of the branch in flight,
+        #: captured by the predict paths only while tracing.
+        self._pred_snapshot: "tuple[Optional[bool], Optional[int]]" = \
+            (None, None)
         self.ledger = (ledger if ledger is not None
                        else EnergyLedger(registry=self.stats.registry))
         self.shp = ScaledHashedPerceptron(
@@ -257,8 +266,14 @@ class BranchUnit:
 
     # -- main per-branch flow -----------------------------------------------------
 
-    def process_branch(self, rec: TraceRecord) -> BranchResult:
-        """Predict + update for one retired branch record."""
+    def process_branch(self, rec: TraceRecord,
+                       now: float = 0.0) -> BranchResult:
+        """Predict + update for one retired branch record.
+
+        ``now`` is only a timestamp for emitted trace events (the cycle
+        the owning core resolved this branch at); it never influences a
+        prediction or an update.
+        """
         stats = self.stats
         stats.branches += 1
         if rec.is_conditional:
@@ -332,6 +347,25 @@ class BranchUnit:
         stats.total_bubbles += result.bubbles
         if result.bubbles == 0 and actual_taken and not result.mispredicted:
             stats.zero_bubble_redirects += 1
+        if self.sink is not None:
+            taken_pred, target_pred = self._pred_snapshot
+            if result.path == "ubtb":
+                unit = "ubtb"
+            elif rec.kind == Kind.BR_RET:
+                unit = "ras"
+            elif rec.is_indirect:
+                unit = "vpc"
+            elif rec.is_conditional:
+                unit = "shp"
+            else:
+                unit = "mbtb"
+            self.sink.emit(BranchEvent(
+                seq=-1, cycle=float(now), pc=rec.pc, kind=rec.kind.name,
+                unit=unit, predicted_taken=taken_pred,
+                actual_taken=actual_taken, predicted_target=target_pred,
+                actual_target=actual_target,
+                mispredicted=result.mispredicted,
+                bubbles=int(result.bubbles)))
         return result
 
     def _current_entry(self, pc: int):
@@ -367,6 +401,8 @@ class BranchUnit:
                     bubbles += self.config.branch.mbtb_taken_bubbles
                 self.shp.update(rec.pc, rec.taken, shadow)
                 self.ledger.record("shp_update")
+        if self.sink is not None:
+            self._pred_snapshot = (bool(taken_pred), target_pred)
         mispredicted = (taken_pred != rec.taken) or (
             rec.taken and taken_pred and target_pred != rec.target
         )
@@ -440,6 +476,12 @@ class BranchUnit:
                 mispredicted = True  # predicted taken, was not taken
         else:
             mispredicted = rec.taken  # predicted not-taken
+
+        if self.sink is not None:
+            pred_known = not (entry is None and rec.kind != Kind.BR_RET
+                              and not rec.is_indirect)
+            self._pred_snapshot = (
+                bool(taken_pred) if pred_known else None, target_pred)
 
         # --- updates ---------------------------------------------------------
         if entry is None:

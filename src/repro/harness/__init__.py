@@ -19,6 +19,7 @@ from .population import (  # noqa: F401
     branch_pair_statistics,
     run_population,
     to_csv,
+    windows_to_csv,
 )
 from .report import build_report  # noqa: F401
 from .tables import (  # noqa: F401

@@ -36,6 +36,28 @@ def to_csv(result: PopulationResult) -> str:
     return "\n".join(lines) + "\n"
 
 
+def windows_to_csv(result: PopulationResult) -> str:
+    """Serialise every per-window sample as CSV (one row per slice x
+    generation x window) — the time-series companion of :func:`to_csv`.
+
+    Each row carries the window boundaries, the instruction count and
+    the derived per-window IPC / MPKI / average load latency (computed
+    through the shared formula definitions, like the figure renderers).
+    Slices simulated with windowing disabled contribute no rows.
+    """
+    lines = ["trace,family,generation,window,start_instruction,"
+             "end_instruction,instructions,ipc,mpki,avg_load_latency"]
+    for m in result.metrics:
+        for w in m.windows:
+            lines.append(
+                f"{m.trace_name},{m.family},{m.generation},{w.index},"
+                f"{w.start_instruction},{w.end_instruction},"
+                f"{w.instructions},{w.ipc:.4f},{w.mpki:.4f},"
+                f"{w.average_load_latency:.4f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def branch_pair_statistics(traces: Sequence[Trace]) -> Dict[str, float]:
     """The Section IV-A fetch-pair statistics: of consecutive branch
     pairs, how often the lead branch is TAKEN, how often the lead is

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 from ..config import GenerationConfig
 from ..metrics import formulas
 from ..metrics.registry import MetricRegistry, StatsView
+from ..observe.events import MemEvent, PrefetchEvent
+from ..observe.sink import TraceSink
 from ..power import EnergyLedger
 from .cache import SetAssocCache
 from .coordinated import CoordinatedPolicy
@@ -78,9 +80,15 @@ class MemoryHierarchy:
     def __init__(self, config: GenerationConfig,
                  ledger: Optional[EnergyLedger] = None,
                  corunners: int = 0,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 sink: Optional[TraceSink] = None) -> None:
         self.config = config
         self.stats = MemoryStats(registry)
+        #: Optional flight recorder for demand/prefetch events.
+        self.sink = sink
+        #: Serving level of the last `_miss_path` call, read only by the
+        #: guarded trace emission in `access()`.
+        self._miss_level = "l2"
         self.ledger = (ledger if ledger is not None
                        else EnergyLedger(registry=self.stats.registry))
         self.corunners = corunners
@@ -197,7 +205,8 @@ class MemoryHierarchy:
         else:
             self._c_loads.value += 1
 
-        latency = self.tlb.translate(addr).latency
+        translation = self.tlb.translate(addr)
+        latency = translation.latency
 
         l1_line = self.l1.probe(addr)
         if l1_line is not None:
@@ -213,15 +222,23 @@ class MemoryHierarchy:
                 self._c_l1_late.value += 1
                 # The line lands in the L1 when this access completes.
                 self._inflight[line] = (now + cost, l2_staged)
+                level = "l1_late"
             else:
                 self._inflight.pop(line, None)
                 latency += cfg.l1_hit_latency
                 self._c_l1_hits.value += 1
+                level = "l1"
             first_prefetch_touch = l1_line.prefetched and not l1_line.accessed
             l1_line.accessed = True
             l1_line.dirty = l1_line.dirty or is_store
             if not is_store:
                 self._c_lat_sum.value += latency
+            if self.sink is not None:
+                self.sink.emit(MemEvent(
+                    seq=-1, cycle=now, pc=pc, addr=addr, level=level,
+                    latency=latency, store=is_store,
+                    tlb_level=translation.level,
+                    prefetch_touch=first_prefetch_touch))
             if first_prefetch_touch:
                 # A demand touch of a prefetched line is a confirmation:
                 # it must keep training the engines so the stream frontier
@@ -234,6 +251,11 @@ class MemoryHierarchy:
         latency += miss_latency
         if not is_store:
             self._c_lat_sum.value += latency
+        if self.sink is not None:
+            self.sink.emit(MemEvent(
+                seq=-1, cycle=now, pc=pc, addr=addr,
+                level=self._miss_level, latency=latency, store=is_store,
+                tlb_level=translation.level, prefetch_touch=False))
 
         # Train the L1 engines on this miss (re-order + dedup first).
         self._train_l1_engines(pc, addr, now)
@@ -251,6 +273,7 @@ class MemoryHierarchy:
             self._c_l1_late.value += 1
             self.l1.fill(addr, dirty=is_store)
             self._inflight[line] = (now + delta, l2_staged)
+            self._miss_level = "inflight"
             return delta
 
         if self.buddy is not None:
@@ -264,6 +287,7 @@ class MemoryHierarchy:
             l2_line.accessed = True
             self.stats.l2_hits += 1
             self._fill_l1(addr, now, is_store)
+            self._miss_level = "l2"
             return self._with_mab(
                 now, cfg.l2_avg_latency + self._l2_latency_extra, addr)
 
@@ -288,6 +312,7 @@ class MemoryHierarchy:
                     CoordinatedPolicy.mark_reallocated(new_l2)
                 if l2_victim is not None:
                     self._handle_l2_castout(l2_victim)
+                self._miss_level = "l3"
                 return self._with_mab(
                     now, self.config.l3_avg_latency or 30.0, addr)
 
@@ -305,6 +330,7 @@ class MemoryHierarchy:
         self.directory.note_filled(line)
         if l2_victim is not None:
             self._handle_l2_castout(l2_victim)
+        self._miss_level = "dram"
         return self._with_mab(now, trip.latency, addr)
 
     def _with_mab(self, now: float, service: float, addr: int) -> float:
@@ -400,6 +426,11 @@ class MemoryHierarchy:
         if from_dram:
             self.stats.prefetch_dram_traffic += 1
             self.dram.access(paddr)
+        if self.sink is not None:
+            self.sink.emit(PrefetchEvent(
+                seq=-1, cycle=now, addr=paddr, engine="l1",
+                target_level="l1" if to_l1 else "l2",
+                from_dram=from_dram))
         # Install: L2 always learns the line; L1 only for full prefetches.
         if not l2_hit:
             l2_victim = self.l2.fill(paddr, prefetched=True)
@@ -426,6 +457,10 @@ class MemoryHierarchy:
                 self.dram.access(buddy_line)
             self.l2.fill(buddy_line, prefetched=True)
             self.directory.note_filled(buddy_line)
+            if self.sink is not None:
+                self.sink.emit(PrefetchEvent(
+                    seq=-1, cycle=now, addr=buddy_line, engine="buddy",
+                    target_level="l2", from_dram=from_dram))
 
     def _issue_lower_prefetch(self, paddr: int, now: float) -> None:
         """Standalone-prefetcher fill into the lower-level caches."""
@@ -439,3 +474,8 @@ class MemoryHierarchy:
                 self.dram.access(paddr)
                 target.fill(paddr, prefetched=True)
                 self.directory.note_filled(self._line(paddr))
+                if self.sink is not None:
+                    self.sink.emit(PrefetchEvent(
+                        seq=-1, cycle=now, addr=paddr, engine="standalone",
+                        target_level="l3" if target is self.l3 else "l2",
+                        from_dram=True))

@@ -10,8 +10,11 @@ Public surface:
   average load latency, UOC fetch fraction) defined exactly once.
 - :class:`WindowRecorder` / :class:`WindowSample` — per-N-instruction
   interval snapshots for warmup-excludable time series.
+- :func:`diff_metric_documents` / :func:`render_metric_diff` — A/B
+  comparison of two saved ``metrics --json`` documents.
 """
 
+from .diff import diff_metric_documents, render_metric_diff
 from .formulas import STANDARD_FORMULAS
 from .registry import (Counter, Formula, Gauge, MetricRegistry,
                        MetricSnapshot, StatsView)
@@ -31,4 +34,6 @@ __all__ = [
     "WindowRecorder",
     "WindowSample",
     "window_metric_series",
+    "diff_metric_documents",
+    "render_metric_diff",
 ]

@@ -1,0 +1,112 @@
+"""Diffing two saved metric documents (``python -m repro metrics --json``).
+
+The workflow: save a baseline stat dump, change a config knob (or the
+model), save another, and diff —
+
+.. code-block:: console
+
+   $ python -m repro metrics --gen M5 --json > A.json
+   $ python -m repro metrics --gen M6 --json > B.json
+   $ python -m repro metrics --diff A.json B.json
+
+:func:`diff_metric_documents` aligns the two flat ``metrics`` maps and
+reports every numeric key whose value changed (plus keys present on only
+one side); :func:`render_metric_diff` is the human table.  Both are pure
+functions of the documents, so the output is deterministic and safe for
+golden-file tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Relative change below which a differing value is still reported but
+#: not ranked as a notable mover (guards the rendering order against
+#: float dust in derived formulas).
+_EPSILON = 1e-12
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_metric_documents(doc_a: Dict[str, Any],
+                          doc_b: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured diff of two ``metrics --json`` documents.
+
+    Returns ``{"a": ..., "b": ..., "changed": {...}, "only_a": [...],
+    "only_b": [...], "unchanged": N}`` where ``changed`` maps each
+    differing metric key to ``{"a": va, "b": vb, "delta": vb - va,
+    "ratio": vb / va or None}``.
+    """
+    metrics_a: Dict[str, Any] = doc_a.get("metrics", {}) or {}
+    metrics_b: Dict[str, Any] = doc_b.get("metrics", {}) or {}
+
+    def _label(doc: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "generation": doc.get("generation"),
+            "trace": doc.get("trace"),
+            "schema": doc.get("schema"),
+        }
+
+    changed: Dict[str, Dict[str, Any]] = {}
+    unchanged = 0
+    for key in sorted(set(metrics_a) & set(metrics_b)):
+        va, vb = metrics_a[key], metrics_b[key]
+        if not (_numeric(va) and _numeric(vb)):
+            continue
+        if va == vb:
+            unchanged += 1
+            continue
+        entry: Dict[str, Any] = {"a": va, "b": vb, "delta": vb - va}
+        entry["ratio"] = (vb / va) if abs(va) > _EPSILON else None
+        changed[key] = entry
+    return {
+        "a": _label(doc_a),
+        "b": _label(doc_b),
+        "changed": changed,
+        "only_a": sorted(set(metrics_a) - set(metrics_b)),
+        "only_b": sorted(set(metrics_b) - set(metrics_a)),
+        "unchanged": unchanged,
+    }
+
+
+def render_metric_diff(diff: Dict[str, Any], top: int = 0) -> str:
+    """Human table for one :func:`diff_metric_documents` result.
+
+    ``top`` > 0 keeps only the ``top`` largest relative movers (keys
+    with no usable ratio sort last); 0 shows every changed key in
+    lexicographic order.
+    """
+    lines: List[str] = []
+    a, b = diff["a"], diff["b"]
+    lines.append(f"A: {a.get('generation')} on {a.get('trace')}")
+    lines.append(f"B: {b.get('generation')} on {b.get('trace')}")
+    changed = diff["changed"]
+    lines.append(f"{len(changed)} metrics differ, "
+                 f"{diff['unchanged']} identical")
+    keys = sorted(changed)
+    if top > 0:
+        def magnitude(key: str) -> float:
+            ratio = changed[key]["ratio"]
+            if ratio is None or ratio <= 0:
+                return float("inf")
+            return abs(ratio - 1.0)
+        keys = sorted(keys, key=lambda k: (-magnitude(k), k))[:top]
+        keys_note = f" (top {len(keys)} by relative change)"
+    else:
+        keys_note = ""
+    if keys:
+        lines.append(f"changed{keys_note}:")
+        width = max(len(k) for k in keys)
+        for key in keys:
+            e = changed[key]
+            ratio = e["ratio"]
+            rel = (f" ({(ratio - 1.0) * 100:+.1f}%)"
+                   if ratio is not None and ratio > 0 else "")
+            lines.append(f"  {key:<{width}s}  {e['a']:>14.6g} -> "
+                         f"{e['b']:>14.6g}  d={e['delta']:+.6g}{rel}")
+    for side, label in (("only_a", "only in A"), ("only_b", "only in B")):
+        if diff[side]:
+            lines.append(f"{label}: {', '.join(diff[side])}")
+    return "\n".join(lines)

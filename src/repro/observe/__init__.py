@@ -1,0 +1,67 @@
+"""repro.observe — pipeline event tracing and engine self-profiling.
+
+The observability layer: an opt-in, bounded flight recorder
+(:class:`TraceSink`) that the scoreboard, branch unit, uop-cache
+controller and memory hierarchy emit lifecycle events into; exporters
+for Chrome/Perfetto (:func:`chrome_trace_json`) and a gem5-pipeview-
+style ASCII timeline (:func:`render_pipeview`, the ``python -m repro
+pipeview`` subcommand); and the engine self-profiling report types
+behind ``python -m repro population --profile``.
+
+Contracts (``docs/observability.md``):
+
+- default off, ``None``-guarded at every emission site — with tracing
+  disabled, simulated results are bit-identical to an uninstrumented
+  build and wall-clock overhead stays within 2%
+  (``benchmarks/test_observe_overhead.py``);
+- tracing never perturbs simulated timing — events only *read* values
+  the model computed anyway;
+- deterministic — for a fixed seed the event stream is byte-identical
+  (:func:`events_to_jsonl`) across serial and worker execution.
+"""
+
+from .chrome import chrome_trace, chrome_trace_json  # noqa: F401
+from .events import (  # noqa: F401
+    STALL_BUCKETS,
+    BranchEvent,
+    InstEvent,
+    MemEvent,
+    PrefetchEvent,
+    TraceEvent,
+    UocModeEvent,
+    event_from_dict,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+from .pipeview import render_event_log, render_pipeview  # noqa: F401
+from .profile import (  # noqa: F401
+    PHASES,
+    TaskTiming,
+    describe_profile,
+    slowest_tasks,
+)
+from .sink import DEFAULT_CAPACITY, TraceSink, maybe_sink  # noqa: F401
+
+__all__ = [
+    "STALL_BUCKETS",
+    "TraceEvent",
+    "InstEvent",
+    "BranchEvent",
+    "MemEvent",
+    "PrefetchEvent",
+    "UocModeEvent",
+    "event_from_dict",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "TraceSink",
+    "DEFAULT_CAPACITY",
+    "maybe_sink",
+    "chrome_trace",
+    "chrome_trace_json",
+    "render_pipeview",
+    "render_event_log",
+    "PHASES",
+    "TaskTiming",
+    "describe_profile",
+    "slowest_tasks",
+]

@@ -1,0 +1,129 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+Converts a pipeline event stream into the Trace Event Format's JSON
+object form: one *track* (thread) per pipeline stage carrying complete
+(``"ph": "X"``) slices for each micro-op's time in that stage, instant
+events for branch resolutions and uop-cache mode transitions, and async
+begin/end pairs (``"ph": "b"``/``"e"``) for in-flight memory operations
+so overlapping misses render as overlapping slices.
+
+Cycles map 1:1 onto the format's microsecond timestamps — load the file
+in https://ui.perfetto.dev or chrome://tracing and read "us" as
+"cycles".  Output is deterministic for a given event stream:
+:func:`chrome_trace_json` serializes with sorted keys and events are
+ordered by sequence number.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .events import (BranchEvent, InstEvent, MemEvent, PrefetchEvent,
+                     TraceEvent, UocModeEvent)
+
+#: Track (thread) ids, one per pipeline stage / event family.
+TRACKS = (
+    (0, "fetch"),
+    (1, "dispatch"),
+    (2, "execute"),
+    (3, "branch"),
+    (4, "memory"),
+    (5, "prefetch"),
+    (6, "uop-cache"),
+)
+
+_PID = 0
+
+
+def _meta(name: str, tid: int, label: str) -> Dict[str, Any]:
+    return {"ph": "M", "name": name, "pid": _PID, "tid": tid,
+            "ts": 0, "args": {"name": label}}
+
+
+def _slice(name: str, tid: int, start: float, end: float,
+           args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"ph": "X", "name": name, "pid": _PID, "tid": tid,
+            "ts": start, "dur": max(0.0, end - start), "cat": "pipeline",
+            "args": args}
+
+
+def chrome_trace(events: Iterable[TraceEvent], *, generation: str = "",
+                 trace_name: str = "") -> Dict[str, Any]:
+    """Build the Trace Event Format JSON object for an event stream."""
+    out: List[Dict[str, Any]] = [
+        _meta("process_name", 0,
+              f"repro {generation or 'core'}"
+              + (f" / {trace_name}" if trace_name else "")),
+    ]
+    for tid, label in TRACKS:
+        out.append(_meta("thread_name", tid, label))
+
+    for e in events:
+        if isinstance(e, InstEvent):
+            label = f"{e.kind}@{e.pc:#x}"
+            args = {"pc": f"{e.pc:#x}", "kind": e.kind, "index": e.index,
+                    "stall": e.stall, "stall_cycles": e.stall_cycles}
+            out.append(_slice(label, 0, e.fetch, e.dispatch, args))
+            out.append(_slice(label, 1, e.dispatch, e.issue, args))
+            out.append(_slice(label, 2, e.issue, e.complete, args))
+        elif isinstance(e, BranchEvent):
+            out.append({
+                "ph": "i", "name": ("mispredict" if e.mispredicted
+                                    else "branch"),
+                "pid": _PID, "tid": 3, "ts": e.cycle, "s": "t",
+                "cat": "branch",
+                "args": {"pc": f"{e.pc:#x}", "kind": e.kind,
+                         "unit": e.unit,
+                         "predicted_taken": e.predicted_taken,
+                         "actual_taken": e.actual_taken,
+                         "bubbles": e.bubbles},
+            })
+        elif isinstance(e, MemEvent):
+            # Async begin/end pair: in-flight ops overlap visibly.
+            common = {"pid": _PID, "tid": 4, "cat": "mem",
+                      "id": e.seq, "name": f"{e.level}@{e.addr:#x}"}
+            out.append(dict(common, ph="b", ts=e.cycle,
+                            args={"pc": f"{e.pc:#x}", "level": e.level,
+                                  "latency": e.latency,
+                                  "tlb": e.tlb_level,
+                                  "store": e.store,
+                                  "prefetch_touch": e.prefetch_touch}))
+            out.append(dict(common, ph="e", ts=e.cycle + e.latency,
+                            args={}))
+        elif isinstance(e, PrefetchEvent):
+            out.append({
+                "ph": "i", "name": f"prefetch:{e.engine}",
+                "pid": _PID, "tid": 5, "ts": e.cycle, "s": "t",
+                "cat": "prefetch",
+                "args": {"addr": f"{e.addr:#x}",
+                         "target_level": e.target_level,
+                         "from_dram": e.from_dram},
+            })
+        elif isinstance(e, UocModeEvent):
+            out.append({
+                "ph": "i", "name": f"{e.from_mode}->{e.to_mode}",
+                "pid": _PID, "tid": 6, "ts": e.cycle, "s": "t",
+                "cat": "uoc",
+                "args": {"block_pc": f"{e.block_pc:#x}"},
+            })
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generation": generation,
+            "trace": trace_name,
+            "unit": "1 us == 1 simulated cycle",
+        },
+    }
+
+
+def chrome_trace_json(events: Iterable[TraceEvent], *,
+                      generation: str = "", trace_name: str = "",
+                      indent: int = 0) -> str:
+    """Deterministic JSON text of :func:`chrome_trace` (sorted keys)."""
+    doc = chrome_trace(events, generation=generation,
+                       trace_name=trace_name)
+    return json.dumps(doc, sort_keys=True,
+                      indent=indent if indent > 0 else None)

@@ -1,0 +1,182 @@
+"""The pipeline trace event model.
+
+Every event is a small, JSON-able record of one micro-architectural
+lifecycle moment, stamped with the *simulated* cycle it belongs to and
+a monotonically increasing sequence number assigned by the sink at
+emission time.  Four event families cover the producers:
+
+:class:`InstEvent`
+    One retired micro-op's full stage lifecycle — fetch / dispatch /
+    ready / issue / complete / retire cycle stamps — plus the
+    stall-attribution bucket the ``cpi_*`` decomposition already uses
+    (``base`` / ``mispredict`` / ``frontend_bubbles`` / ``memory``), so
+    a trace line explains its own bubbles.
+:class:`BranchEvent`
+    One branch resolution: predicted vs. actual direction and target,
+    and which predictor component drove the prediction (uBTB, SHP+mBTB,
+    VPC, RAS).
+:class:`MemEvent`
+    One demand access: which level served it (``l1`` / ``l1_late`` /
+    ``inflight`` / ``l2`` / ``l3`` / ``dram``), its latency, the TLB
+    level that translated it, and whether it was the first demand touch
+    of a prefetched line.  :class:`PrefetchEvent` records the issue side.
+:class:`UocModeEvent`
+    One uop-cache controller mode transition (Filter/Build/Fetch).
+
+Events serialize through :meth:`to_dict` (a plain dict with an
+``event`` discriminator) and the canonical :func:`events_to_jsonl` form
+— one ``json.dumps(..., sort_keys=True)`` line per event — which is the
+byte-identity currency of the determinism tests and the disk format of
+``python -m repro pipeview --save``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
+
+#: The stall-attribution buckets, identical to the interval model's
+#: CPI-stack keys (:mod:`repro.core.interval`).
+STALL_BUCKETS: Tuple[str, ...] = (
+    "base", "mispredict", "frontend_bubbles", "memory",
+)
+
+
+@dataclass
+class TraceEvent:
+    """Base class: the fields every pipeline event carries."""
+
+    #: Emission order within the sink (assigned by the sink, -1 before).
+    seq: int
+    #: Simulated cycle the event is anchored to.
+    cycle: float
+
+    #: Discriminator stored into ``to_dict()["event"]``.
+    EVENT = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"event": self.EVENT}
+        data.update(asdict(self))
+        return data
+
+
+@dataclass
+class InstEvent(TraceEvent):
+    """One micro-op's stage lifecycle through the scoreboard."""
+
+    EVENT = "inst"
+
+    #: Position of the micro-op in the trace (retire order).
+    index: int = 0
+    pc: int = 0
+    #: :class:`repro.traces.types.Kind` name (``"ALU"``, ``"LOAD"``, ...).
+    kind: str = ""
+    fetch: float = 0.0
+    dispatch: float = 0.0
+    ready: float = 0.0
+    issue: float = 0.0
+    complete: float = 0.0
+    #: The dataflow model retires at completion; kept as its own field so
+    #: a future in-order-retirement refinement changes data, not schema.
+    retire: float = 0.0
+    #: Stall-attribution bucket (one of :data:`STALL_BUCKETS`).
+    stall: str = "base"
+    #: Cycles attributed to ``stall`` for this micro-op (0 for "base").
+    stall_cycles: float = 0.0
+
+
+@dataclass
+class BranchEvent(TraceEvent):
+    """One branch resolution through the front end."""
+
+    EVENT = "branch"
+
+    pc: int = 0
+    kind: str = ""
+    #: Predictor component that drove the prediction: ``"ubtb"``,
+    #: ``"shp"``, ``"vpc"``, ``"ras"``, or ``"mbtb"``.
+    unit: str = "mbtb"
+    predicted_taken: Optional[bool] = None
+    actual_taken: bool = False
+    predicted_target: Optional[int] = None
+    actual_target: int = 0
+    mispredicted: bool = False
+    bubbles: int = 0
+
+
+@dataclass
+class MemEvent(TraceEvent):
+    """One demand access through the data-side hierarchy."""
+
+    EVENT = "mem"
+
+    pc: int = 0
+    addr: int = 0
+    #: Serving level: ``l1`` / ``l1_late`` / ``inflight`` / ``l2`` /
+    #: ``l3`` / ``dram``.
+    level: str = "l1"
+    latency: float = 0.0
+    store: bool = False
+    #: TLB level that translated the access (``l1``/``l1.5``/``l2``/
+    #: ``walk``); a walk is the TLB-miss case.
+    tlb_level: str = "l1"
+    #: First demand touch of a line a prefetcher installed.
+    prefetch_touch: bool = False
+
+
+@dataclass
+class PrefetchEvent(TraceEvent):
+    """One prefetch issued into the hierarchy."""
+
+    EVENT = "prefetch"
+
+    addr: int = 0
+    #: Engine that issued it: ``"l1"`` (stride/SMS via the L1 path),
+    #: ``"buddy"``, or ``"standalone"``.
+    engine: str = "l1"
+    #: Cache level the line lands in (``"l1"``/``"l2"``/``"l3"``).
+    target_level: str = "l1"
+    from_dram: bool = False
+
+
+@dataclass
+class UocModeEvent(TraceEvent):
+    """One uop-cache controller mode transition (Figure 13)."""
+
+    EVENT = "uoc_mode"
+
+    block_pc: int = 0
+    from_mode: str = "filter"
+    to_mode: str = "filter"
+
+
+_EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.EVENT: cls
+    for cls in (InstEvent, BranchEvent, MemEvent, PrefetchEvent,
+                UocModeEvent)
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from its :meth:`TraceEvent.to_dict` form."""
+    kind = data.get("event")
+    cls = _EVENT_TYPES.get(str(kind))
+    if cls is None:
+        raise ValueError(f"unknown trace event kind {kind!r}")
+    kwargs = {k: v for k, v in data.items() if k != "event"}
+    return cls(**kwargs)
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Canonical byte-stable serialization: one sorted-key JSON line per
+    event.  Two event streams are identical iff their jsonl forms are
+    byte-identical — the form the determinism tests compare."""
+    return "\n".join(
+        json.dumps(e.to_dict(), sort_keys=True) for e in events)
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Inverse of :func:`events_to_jsonl` (blank lines ignored)."""
+    return [event_from_dict(json.loads(line))
+            for line in text.splitlines() if line.strip()]

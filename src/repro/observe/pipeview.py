@@ -1,0 +1,108 @@
+"""gem5-O3-pipeview-style ASCII pipeline timeline.
+
+Renders the :class:`~repro.observe.events.InstEvent` stream as one row
+per micro-op: a fixed-width timeline band where each stage is marked at
+its (scaled) cycle column — ``f`` fetch, ``d`` dispatch, ``i`` issue,
+``c`` complete — with fill characters between stages (``=`` in fetch,
+``-`` waiting to issue, ``*`` executing), followed by the numeric cycle
+stamps and the stall-attribution bucket when the micro-op lost cycles.
+
+The look follows gem5's ``util/o3-pipeview.py`` output for its O3CPU
+trace ("Anatomy of the gem5 Simulator"); the data model is this repo's
+scoreboard rather than gem5's fetch/decode/rename/dispatch chain, so
+the stage letters map onto the stages the dataflow model actually has.
+
+Everything is a pure function of the event list: same events, same
+bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .events import InstEvent, TraceEvent
+
+#: (attribute, marker) per stage, in pipeline order.
+STAGE_MARKS = (
+    ("fetch", "f"),
+    ("dispatch", "d"),
+    ("issue", "i"),
+    ("complete", "c"),
+)
+
+#: Fill characters for the span *after* each stage mark.
+_FILLS = {"f": "=", "d": "-", "i": "*"}
+
+DEFAULT_TIMELINE_WIDTH = 48
+
+
+def _select(events: Iterable[TraceEvent], start: int,
+            count: Optional[int]) -> List[InstEvent]:
+    insts = [e for e in events if isinstance(e, InstEvent)]
+    insts = [e for e in insts if e.index >= start]
+    if count is not None:
+        insts = insts[:count]
+    return insts
+
+
+def render_pipeview(events: Sequence[TraceEvent], *, start: int = 0,
+                    count: Optional[int] = 40,
+                    width: int = DEFAULT_TIMELINE_WIDTH) -> str:
+    """Render the per-instruction stage timeline.
+
+    ``start``/``count`` select by trace index (retire order);
+    ``width`` is the timeline band width in columns.  Cycle-to-column
+    scaling is computed over the selected rows so short windows get
+    cycle-per-column resolution and long ones compress.
+    """
+    insts = _select(events, start, count)
+    if not insts:
+        return "(no instruction events in the selected window)"
+
+    base = min(e.fetch for e in insts)
+    span = max(max(e.complete for e in insts) - base, 1.0)
+    scale = (width - 1) / span
+
+    def col(cycle: float) -> int:
+        return max(0, min(width - 1, int((cycle - base) * scale)))
+
+    lines = [
+        f"cycles {base:g}..{base + span:g}  "
+        f"({span / (width - 1):.2f} cycles/col; "
+        f"f=fetch d=dispatch i=issue c=complete)",
+        f"{'idx':>6s} {'pc':>10s} {'kind':<12s} |{'timeline':<{width}s}| "
+        f"{'fetch':>9s} {'issue':>9s} {'compl':>9s}  stall",
+    ]
+    for e in insts:
+        band = [" "] * width
+        marks = [(col(getattr(e, attr)), mark)
+                 for attr, mark in STAGE_MARKS]
+        # Fill between consecutive stage columns, then lay the marks on
+        # top so a compressed row still shows every stage letter.
+        for (c0, mark), (c1, _nxt) in zip(marks, marks[1:]):
+            fill = _FILLS[mark]
+            for c in range(c0 + 1, c1):
+                band[c] = fill
+        for c, mark in marks:
+            band[c] = mark
+        note = ""
+        if e.stall != "base" or e.stall_cycles:
+            note = f"{e.stall}(+{e.stall_cycles:g})"
+        lines.append(
+            f"{e.index:6d} {e.pc:#10x} {e.kind:<12s} |{''.join(band)}| "
+            f"{e.fetch:9.1f} {e.issue:9.1f} {e.complete:9.1f}  {note}")
+    return "\n".join(lines)
+
+
+def render_event_log(events: Sequence[TraceEvent], *,
+                     limit: Optional[int] = None) -> str:
+    """Flat one-line-per-event rendering (every event family)."""
+    lines: List[str] = []
+    for e in events if limit is None else list(events)[:limit]:
+        d = e.to_dict()
+        kind = d.pop("event")
+        seq = d.pop("seq")
+        cycle = d.pop("cycle")
+        detail = " ".join(f"{k}={d[k]}" for k in sorted(d))
+        lines.append(f"{seq:8d} @{cycle:10.1f} {kind:<9s} {detail}")
+    return "\n".join(lines)

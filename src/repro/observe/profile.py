@@ -1,0 +1,80 @@
+"""Engine self-profiling: where the *host's* time goes.
+
+The simulator side of this package records simulated cycles; this
+module is about wall-clock — the measurement substrate for host-side
+optimisation work.  The engine (:mod:`repro.engine.runner`, the one
+layer sanctioned to read wall clocks by simlint SIM002's
+``wallclock_allow``) fills an :class:`~repro.engine.runner.EngineStats`
+with a ``phase_breakdown`` (seconds per engine phase) and per-task
+:class:`TaskTiming` rows; this module turns those into reports:
+the N slowest (trace x generation) tasks and the serial-vs-worker
+throughput comparison behind ``python -m repro population --profile``.
+
+Nothing here reads a clock itself, so it stays importable from
+simulation code without widening the SIM002 allowlist.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: Engine phase names, in reporting order.
+PHASES = ("fingerprint", "cache_lookup", "execute", "cache_store")
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Wall-clock cost of one executed task (cache hits have none)."""
+
+    #: Human label, e.g. ``"population specint_like/s7x12000 gen=M3"``.
+    label: str
+    seconds: float
+
+
+def slowest_tasks(timings: Sequence[TaskTiming],
+                  n: int = 10) -> List[TaskTiming]:
+    """The ``n`` slowest tasks, slowest first (ties broken by label so
+    the report is deterministic for equal-cost tasks)."""
+    ranked = sorted(timings, key=lambda t: (-t.seconds, t.label))
+    return ranked[:max(0, n)]
+
+
+def describe_profile(stats, top: int = 10) -> str:
+    """Render one engine run's profile (an ``EngineStats`` with
+    ``phase_breakdown``/``task_timings`` filled in) as text."""
+    lines: List[str] = ["engine profile:"]
+    breakdown = dict(stats.phase_breakdown)
+    total = stats.wall_seconds or 0.0
+    accounted = math.fsum(breakdown.get(p, 0.0) for p in PHASES)
+    lines.append(f"  wall {total:.3f}s over {stats.tasks_total} tasks "
+                 f"({stats.cache_hits} cached, {stats.executed} executed, "
+                 f"workers={stats.workers})")
+    lines.append("  phase breakdown:")
+    for phase in PHASES:
+        seconds = breakdown.get(phase, 0.0)
+        pct = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"    {phase:<13s} {seconds:8.3f}s  {pct:5.1f}%")
+    other = max(0.0, total - accounted)
+    pct = 100.0 * other / total if total > 0 else 0.0
+    lines.append(f"    {'other':<13s} {other:8.3f}s  {pct:5.1f}%")
+
+    timings = list(stats.task_timings)
+    if timings:
+        serial_seconds = math.fsum(t.seconds for t in timings)
+        execute_wall = breakdown.get("execute", 0.0)
+        lines.append(
+            f"  task time: {serial_seconds:.3f}s of simulation executed "
+            f"in {execute_wall:.3f}s of wall"
+            + (f" (effective parallelism "
+               f"{serial_seconds / execute_wall:.2f}x, workers="
+               f"{stats.workers})" if execute_wall > 0 else ""))
+        shown = slowest_tasks(timings, top)
+        lines.append(f"  slowest {len(shown)} tasks:")
+        for t in shown:
+            lines.append(f"    {t.seconds:8.3f}s  {t.label}")
+    else:
+        lines.append("  task time: everything served from cache "
+                     "(no tasks executed)")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""The flight recorder: a bounded ring-buffer trace sink.
+
+A :class:`TraceSink` is handed to :class:`~repro.core.simulator
+.GenerationSimulator` (``trace_sink=``) and threaded into the
+scoreboard, branch unit, uop-cache controller and memory hierarchy.
+Each producer holds the sink (or ``None``) and guards every emission
+with a single ``is not None`` check, so the disabled mode — the default
+— costs one predictable branch per instrumented site and allocates
+nothing.
+
+The buffer is bounded (``capacity`` events, default
+:data:`DEFAULT_CAPACITY`): once full, the oldest events are overwritten
+flight-recorder style, and :attr:`TraceSink.dropped` reports how many
+fell off the front.  Emission order is preserved; ``events()`` returns
+the retained window oldest-first.
+
+Determinism: the sink records only values the simulation already
+computed — cycle stamps, PCs, predictor outcomes — never wall-clock or
+id()-derived data, so for a fixed seed the event stream is byte-
+identical (via :func:`~repro.observe.events.events_to_jsonl`) whether
+the simulation ran serially or inside a worker process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .events import TraceEvent
+
+#: Default flight-recorder depth, in events.  A 12k-instruction slice
+#: emits roughly 1.5 events per instruction, so the default retains a
+#: full default CLI run with headroom.
+DEFAULT_CAPACITY = 65536
+
+
+class TraceSink:
+    """Bounded, overwrite-oldest event buffer."""
+
+    __slots__ = ("capacity", "emitted", "_buffer", "_head")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("trace sink capacity must be positive")
+        self.capacity = int(capacity)
+        #: Total events ever emitted (retained + dropped).
+        self.emitted = 0
+        self._buffer: List[TraceEvent] = []
+        self._head = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by newer ones (flight-recorder loss)."""
+        return max(0, self.emitted - self.capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Stamp ``event`` with the next sequence number and retain it."""
+        event.seq = self.emitted
+        self.emitted += 1
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(event)
+        else:
+            self._buffer[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+
+    def events(self) -> List[TraceEvent]:
+        """The retained window, oldest first."""
+        return self._buffer[self._head:] + self._buffer[:self._head]
+
+    def clear(self) -> None:
+        """Forget everything (sequence numbering restarts at 0)."""
+        self.emitted = 0
+        self._buffer = []
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceSink(capacity={self.capacity}, "
+                f"emitted={self.emitted}, dropped={self.dropped})")
+
+
+def maybe_sink(enabled: bool,
+               capacity: int = DEFAULT_CAPACITY) -> Optional[TraceSink]:
+    """``TraceSink(capacity)`` when ``enabled``, else ``None`` — the
+    shape producers expect (``None`` = tracing off, zero cost)."""
+    return TraceSink(capacity) if enabled else None

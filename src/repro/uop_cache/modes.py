@@ -26,6 +26,8 @@ from typing import Dict, Optional
 
 from ..metrics import formulas
 from ..metrics.registry import MetricRegistry, StatsView
+from ..observe.events import UocModeEvent
+from ..observe.sink import TraceSink
 from ..power import EnergyLedger
 from .uoc import UopCache
 
@@ -70,9 +72,12 @@ class UocController:
 
     def __init__(self, uoc: UopCache,
                  ledger: Optional[EnergyLedger] = None,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 sink: Optional[TraceSink] = None) -> None:
         self.uoc = uoc
         self.stats = UocModeStats(registry)
+        #: Optional flight recorder for mode-transition events.
+        self.sink = sink
         self.ledger = (ledger if ledger is not None
                        else EnergyLedger(registry=self.stats.registry))
         reg = self.stats.registry
@@ -99,7 +104,7 @@ class UocController:
             if ubtb_predictable and n_uops <= self.uoc.capacity_uops:
                 self._filter_streak += 1
                 if self._filter_streak >= self.FILTER_STREAK:
-                    self._enter_build()
+                    self._enter_build(block_pc)
             else:
                 self._filter_streak = 0
             return mode
@@ -111,9 +116,9 @@ class UocController:
             ratio_met = (self._fetch_edges
                          >= self.FETCH_RATIO * max(1, self._build_edges))
             if ratio_met and self._fetch_edges >= 8:
-                self._enter_fetch()
+                self._enter_fetch(block_pc)
             elif self._build_timer > self.BUILD_TIMER_LIMIT:
-                self._enter_filter()
+                self._enter_filter(block_pc)
             return mode
         # FetchMode.
         self.stats.fetch_cycles += 1
@@ -133,10 +138,10 @@ class UocController:
                 >= self.FILTER_RATIO * max(1, self._fetch_edges)
                 and self._build_edges >= 8):
             self.stats.back_to_filter += 1
-            self._enter_filter()
+            self._enter_filter(block_pc)
         if not ubtb_predictable:
             # A mispredict ends the locked kernel; FetchMode cannot hold.
-            self._enter_filter()
+            self._enter_filter(block_pc)
         return mode
 
     # -- internals ---------------------------------------------------------------
@@ -161,20 +166,37 @@ class UocController:
             elif self.uoc.contains(block_pc):
                 self._built_bits[block_pc] = True
 
-    def _enter_build(self) -> None:
+    def _emit_transition(self, block_pc: int, from_mode: UocMode,
+                         to_mode: UocMode) -> None:
+        # The "cycle" of a mode transition is the block count so far —
+        # the controller's own time base (one on_block call per block).
+        stats = self.stats
+        cycle = float(stats.filter_cycles + stats.build_cycles
+                      + stats.fetch_cycles)
+        self.sink.emit(UocModeEvent(seq=-1, cycle=cycle, block_pc=block_pc,
+                                    from_mode=from_mode.value,
+                                    to_mode=to_mode.value))
+
+    def _enter_build(self, block_pc: int = 0) -> None:
+        if self.sink is not None:
+            self._emit_transition(block_pc, self.mode, UocMode.BUILD)
         self.mode = UocMode.BUILD
         self.stats.to_build += 1
         self._build_timer = 0
         self._build_edges = 0
         self._fetch_edges = 0
 
-    def _enter_fetch(self) -> None:
+    def _enter_fetch(self, block_pc: int = 0) -> None:
+        if self.sink is not None:
+            self._emit_transition(block_pc, self.mode, UocMode.FETCH)
         self.mode = UocMode.FETCH
         self.stats.to_fetch += 1
         self._build_edges = 0
         self._fetch_edges = 0
 
-    def _enter_filter(self) -> None:
+    def _enter_filter(self, block_pc: int = 0) -> None:
+        if self.sink is not None and self.mode is not UocMode.FILTER:
+            self._emit_transition(block_pc, self.mode, UocMode.FILTER)
         self.mode = UocMode.FILTER
         self._filter_streak = 0
         self._build_timer = 0

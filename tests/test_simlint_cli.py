@@ -46,17 +46,18 @@ def project(tmp_path, monkeypatch):
 # Registry and --list-rules
 # ---------------------------------------------------------------------------
 
-def test_registry_ships_all_ten_rules():
+def test_registry_ships_all_eleven_rules():
     ids = [rule.id for rule in all_rules()]
-    assert ids == [f"SIM{i:03d}" for i in range(1, 11)]
+    assert ids == [f"SIM{i:03d}" for i in range(1, 12)]
     assert get_rule("SIM006").name == "cache-key-completeness"
     assert get_rule("SIM010").name == "float-sum"
+    assert get_rule("SIM011").name == "iteration-order"
 
 
 def test_list_rules_prints_catalog(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for i in range(1, 11):
+    for i in range(1, 12):
         assert f"SIM{i:03d}" in out
 
 
@@ -113,7 +114,7 @@ def test_json_report_schema(project, capsys):
     assert summary["files_scanned"] == 1
     assert summary["new"] == 1
     assert summary["ok"] is False
-    assert summary["rules_run"] == [f"SIM{i:03d}" for i in range(1, 11)]
+    assert summary["rules_run"] == [f"SIM{i:03d}" for i in range(1, 12)]
     (finding,) = data["findings"]
     assert set(finding) == {"rule", "severity", "path", "line", "col",
                             "message", "snippet", "key", "baselined"}

@@ -312,6 +312,41 @@ def test_sim010_defers_set_and_values_sums_to_sim004():
 
 
 # ---------------------------------------------------------------------------
+# SIM011: implicit iteration-order reads
+# ---------------------------------------------------------------------------
+
+def test_sim011_fires_on_bare_popitem():
+    found = check("k, v = d.popitem()\n", "SIM011")
+    assert [f.rule for f in found] == ["SIM011"]
+    assert found[0].severity == "error"
+    assert "last=" in found[0].message
+
+
+def test_sim011_fires_on_next_iter():
+    found = check("first = next(iter(d))\n", "SIM011")
+    assert [f.rule for f in found] == ["SIM011"]
+    assert "sorted" in found[0].message
+    assert check("first = next(iter(d), None)\n", "SIM011")
+    assert check("pair = next(iter(d.items()))\n", "SIM011")
+
+
+def test_sim011_quiet_on_explicit_end_and_sorted():
+    good = """\
+        oldest = table.popitem(last=False)
+        newest = table.popitem(last=True)
+        first = next(iter(sorted(d)))
+        last = next(iter(reversed(sorted(d))))
+        nxt = next(gen)
+    """
+    assert check(good, "SIM011") == []
+
+
+def test_sim011_repo_is_clean():
+    report = run_lint([SRC_ROOT], select=["SIM011"])
+    assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppression comments
 # ---------------------------------------------------------------------------
 
