@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the README CLI table from the repro.cli registry.
+
+Rewrites the section between ``<!-- cli-table-start -->`` and
+``<!-- cli-table-end -->`` in README.md with the output of
+``repro.cli.command_table()``.  ``tests/test_cli_registry.py`` fails
+when the committed copy is stale; run this after adding a subcommand:
+
+    PYTHONPATH=src python scripts/update_cli_table.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+START = "<!-- cli-table-start -->"
+END = "<!-- cli-table-end -->"
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, os.path.join(root, "src"))
+    from repro.cli import command_table
+
+    readme = os.path.join(root, "README.md")
+    with open(readme) as f:
+        text = f.read()
+    if START not in text or END not in text:
+        print("README.md is missing the cli-table markers",
+              file=sys.stderr)
+        return 1
+    section = f"{START}\n{command_table()}\n{END}"
+    new_text = re.sub(re.escape(START) + r".*?" + re.escape(END),
+                      section, text, count=1, flags=re.DOTALL)
+    if new_text != text:
+        with open(readme, "w") as f:
+            f.write(new_text)
+        print("README.md CLI table regenerated")
+    else:
+        print("README.md CLI table already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

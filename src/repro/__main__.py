@@ -1,34 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
+The implementation lives in the :mod:`repro.cli` package — one module
+per subcommand plus a declarative registry
+(:mod:`repro.cli.registry`) from which the parser, the dispatcher and
+the README command table are all derived.  This module is a thin shim
+kept for the historical import surface (``from repro.__main__ import
+build_parser, main``) and for ``python -m repro`` itself.
 
-``simulate``
-    One (family, seed, generation) run; prints IPC/MPKI/latency and the
-    per-structure statistics.
-``tables``
-    Render Tables I, II and III (and IV with ``--population``).
-``population``
-    Run the standard suite across all generations; prints the Figure
-    9/16/17 ASCII curves and the headline summary.
-``fig1``
-    The GHIST-length sweep of Figure 1.
-``report``
-    Compose every table and population figure into one document.
-``families``
-    List the available workload families.
-``metrics``
-    One run's full hierarchical stat dump (every ``core.*`` /
-    ``frontend.*`` / ``mem.*`` / ``uoc.*`` / ``energy.*`` counter,
-    gauge and formula) plus its per-window IPC/MPKI series — human
-    layout by default, a schema-versioned document with ``--json``.
-    ``--diff A.json B.json`` compares two saved documents instead.
-``pipeview``
-    Flight-record one run and render the gem5-o3-pipeview-style ASCII
-    pipeline timeline; ``--chrome out.json`` exports the same events as
-    a Chrome/Perfetto trace, ``--save out.jsonl`` dumps raw events.
-``lint``
-    Run simlint, the determinism & simulation-safety static analysis
-    (rule catalog in ``docs/analysis.md``), over the given paths.
+Commands (see ``python -m repro --help`` or the README table, both
+generated from the same registry):
+
+``simulate``, ``tables``, ``population``, ``fig1``, ``report``,
+``families``, ``metrics``, ``pipeview``, ``tracediff``, ``lint``.
 
 Population-statistic commands (``tables``/``population``/``fig1``/
 ``report``) run through :mod:`repro.engine`: ``--workers N`` shards the
@@ -40,376 +23,11 @@ simulation entirely.
 
 from __future__ import annotations
 
-import argparse
 import sys
 
-from .config import GENERATION_ORDER
-from .config import get_generation
-from .engine import run as run_one
-from .traces import FAMILIES, TraceSpec
+from .cli import build_parser, main
 
-
-def _engine_kwargs(args: argparse.Namespace) -> dict[str, object]:
-    """Engine knobs shared by the population-statistic commands."""
-    return {
-        "workers": args.workers,
-        "cache": "off" if args.no_cache else "disk",
-        "progress": _progress_printer(),
-    }
-
-
-def _progress_printer():
-    """A ``progress(done, total)`` callback: live counter on a TTY."""
-    if not sys.stderr.isatty():
-        return None
-
-    def progress(done: int, total: int) -> None:
-        sys.stderr.write(f"\r  engine: {done}/{total} tasks")
-        if done == total:
-            sys.stderr.write("\r" + " " * 40 + "\r")
-        sys.stderr.flush()
-
-    return progress
-
-
-def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes (0 = one per CPU)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the on-disk result cache")
-
-
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    spec = TraceSpec(args.family, args.seed, args.length)
-    trace = spec.build()
-    gens = [args.gen.upper()] if args.gen != "all" else list(GENERATION_ORDER)
-    print(f"workload {trace.name}: {len(trace)} uops, "
-          f"{trace.branch_count} branches, {trace.load_count} loads")
-    print(f"{'gen':4s} {'IPC':>6s} {'MPKI':>7s} {'load-lat':>9s} "
-          f"{'bubbles/br':>11s} {'dram':>6s}")
-    for g in gens:
-        r = run_one(trace, g)
-        print(f"{g:4s} {r.ipc:6.2f} {r.mpki:7.2f} "
-              f"{r.average_load_latency:9.1f} "
-              f"{r.branch.bubbles_per_branch:11.2f} "
-              f"{r.memory.dram_accesses:6d}")
-    return 0
-
-
-def _cmd_tables(args: argparse.Namespace) -> int:
-    from .harness import (render_table1, render_table2, render_table3,
-                          render_table4, run_population)
-    print(render_table1())
-    print()
-    print(render_table2())
-    print()
-    print(render_table3())
-    if args.population:
-        pop = run_population(n_slices=args.slices,
-                             slice_length=args.length,
-                             **_engine_kwargs(args))
-        print()
-        print(render_table4(pop))
-    return 0
-
-
-def _cmd_population(args: argparse.Namespace) -> int:
-    from .engine import execute_population
-    from .harness import (figure9_mpki, figure16_load_latency, figure17_ipc,
-                          figure_windowed_ipc, overall_summary,
-                          render_curves)
-    kwargs = _engine_kwargs(args)
-    if args.profile:
-        # Cached tasks carry no timings; profiling wants executed ones.
-        kwargs["cache"] = "off"
-    pop, stats = execute_population(n_slices=args.slices,
-                                    slice_length=args.length,
-                                    seed=args.seed, **kwargs)
-    print(render_curves(figure17_ipc(pop), "FIG 17 - IPC per slice"))
-    print()
-    print(render_curves(figure9_mpki(pop),
-                        "FIG 9 - MPKI per slice (clipped at 20)"))
-    print()
-    print(render_curves(figure16_load_latency(pop),
-                        "FIG 16 - avg load latency per slice"))
-    print()
-    print(render_curves(figure_windowed_ipc(pop),
-                        "FIG W - IPC per window (warmup excluded)"))
-    s = overall_summary(pop)
-    print("\nsummary:")
-    for g in GENERATION_ORDER:
-        print(f"  {g}: ipc {s[g]['ipc']:.2f}  mpki {s[g]['mpki']:.2f}  "
-              f"load-lat {s[g]['load_latency']:.1f}")
-    print(f"  IPC growth/yr: {s['summary']['ipc_growth_per_year_pct']:.1f}% "
-          f"(paper 20.6%)")
-    print(f"  engine: {stats.describe()}", file=sys.stderr)
-    if args.profile:
-        from .observe import describe_profile
-        print()
-        print(describe_profile(stats, top=args.profile_top))
-    return 0
-
-
-def _cmd_fig1(args: argparse.Namespace) -> int:
-    from .harness import figure1_ghist_sweep
-    kwargs = _engine_kwargs(args)
-    kwargs.pop("progress", None)
-    sweep = figure1_ghist_sweep(n_traces=args.traces,
-                                trace_length=args.length, **kwargs)
-    print("FIG 1 - avg MPKI vs GHIST range bits")
-    for bits, mpki in sweep.items():
-        print(f"  {bits:4d}: {mpki:5.2f} " + "#" * int(mpki * 8))
-    return 0
-
-
-def _cmd_report(args: argparse.Namespace) -> int:
-    from .harness.report import build_report
-    kwargs = _engine_kwargs(args)
-    kwargs.pop("progress", None)
-    text = build_report(n_slices=args.slices, slice_length=args.length,
-                        include_fig1=not args.no_fig1, **kwargs)
-    if args.out:
-        with open(args.out, "w") as f:
-            f.write(text)
-        print(f"report written to {args.out}")
-    else:
-        print(text)
-    return 0
-
-
-def _cmd_metrics(args: argparse.Namespace) -> int:
-    import json
-
-    from .core import GenerationSimulator
-    from .engine.results import RESULT_SCHEMA_VERSION
-    from .metrics import window_metric_series
-
-    if args.diff:
-        from .metrics import diff_metric_documents, render_metric_diff
-        path_a, path_b = args.diff
-        with open(path_a) as f:
-            doc_a = json.load(f)
-        with open(path_b) as f:
-            doc_b = json.load(f)
-        diff = diff_metric_documents(doc_a, doc_b)
-        if args.json:
-            print(json.dumps(diff, indent=2, sort_keys=True))
-        else:
-            print(render_metric_diff(diff, top=args.top))
-        return 0
-
-    spec = TraceSpec(args.family, args.seed, args.length)
-    trace = spec.build()
-    gen = args.gen.upper()
-    counters = (tuple(args.window_counters.split(","))
-                if args.window_counters else None)
-    sim = GenerationSimulator(get_generation(gen))
-    r = sim.run(trace, window_interval=args.window,
-                window_counters=counters)
-
-    if args.json:
-        doc = {
-            "schema": RESULT_SCHEMA_VERSION,
-            "generation": gen,
-            "trace": spec.to_dict(),
-            "window_interval": args.window,
-            "warmup_windows": args.warmup,
-            "metrics": sim.metrics.as_dict(),
-            "windows": [w.to_dict() for w in r.windows],
-            "series": {
-                attr: window_metric_series(r.windows, attr,
-                                           warmup=args.warmup)
-                for attr in ("ipc", "mpki", "average_load_latency")
-            },
-        }
-        print(json.dumps(doc, indent=2, sort_keys=True))
-        return 0
-
-    print(f"{gen} on {trace.name}: {len(trace)} uops, "
-          f"ipc {r.ipc:.3f}, mpki {r.mpki:.2f}, "
-          f"avg load latency {r.average_load_latency:.1f}")
-    print()
-    print(sim.metrics.dump())
-    if r.windows:
-        print()
-        print(f"windows (interval={args.window} instructions; first "
-              f"{args.warmup} marked as warmup):")
-        print(f"  {'#':>3s} {'instrs':>13s} {'IPC':>7s} {'MPKI':>7s} "
-              f"{'load-lat':>9s}")
-        for w in r.windows:
-            tag = "  warmup" if w.index < args.warmup else ""
-            print(f"  {w.index:3d} {w.start_instruction:6d}-"
-                  f"{w.end_instruction:<6d} {w.ipc:7.3f} {w.mpki:7.2f} "
-                  f"{w.average_load_latency:9.1f}{tag}")
-    return 0
-
-
-def _cmd_pipeview(args: argparse.Namespace) -> int:
-    from .core import GenerationSimulator
-    from .observe import (TraceSink, chrome_trace_json, events_to_jsonl,
-                          render_event_log, render_pipeview)
-
-    try:
-        family, seed, length = args.spec.split(":")
-        spec = TraceSpec(family, int(seed), int(length))
-    except ValueError:
-        print(f"bad trace spec {args.spec!r}; expected family:seed:length "
-              f"(e.g. specint_like:1:8000)", file=sys.stderr)
-        return 2
-    trace = spec.build()
-    gen = args.gen.upper()
-    sink = TraceSink(capacity=args.capacity)
-    sim = GenerationSimulator(get_generation(gen), trace_sink=sink)
-    r = sim.run(trace, window_interval=0)
-    events = r.events
-
-    print(f"{gen} on {trace.name}: {len(trace)} uops, ipc {r.ipc:.3f}; "
-          f"{sink.emitted} events recorded"
-          + (f" ({sink.dropped} dropped, oldest first)" if sink.dropped
-             else ""))
-    if args.events:
-        print(render_event_log(events, limit=args.count))
-    else:
-        print(render_pipeview(events, start=args.start, count=args.count,
-                              width=args.width))
-    if args.chrome:
-        with open(args.chrome, "w") as f:
-            f.write(chrome_trace_json(events))
-        print(f"chrome trace written to {args.chrome} "
-              f"(load in chrome://tracing or ui.perfetto.dev)",
-              file=sys.stderr)
-    if args.save:
-        with open(args.save, "w") as f:
-            f.write(events_to_jsonl(events) + "\n")
-        print(f"events written to {args.save}", file=sys.stderr)
-    return 0
-
-
-def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis.cli import run_lint_command
-    return run_lint_command(args)
-
-
-def _cmd_families(args: argparse.Namespace) -> int:
-    for name in sorted(FAMILIES):
-        doc = (FAMILIES[name].__doc__ or "").strip().splitlines()
-        print(f"  {name:14s} {doc[0] if doc else ''}")
-    return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Exynos M-series microarchitecture reproduction "
-                    "(ISCA 2020)",
-    )
-    sub = p.add_subparsers(dest="command", required=True)
-
-    sim = sub.add_parser("simulate", help="simulate one workload")
-    sim.add_argument("--family", default="specint_like",
-                     choices=sorted(FAMILIES))
-    sim.add_argument("--seed", type=int, default=1)
-    sim.add_argument("--length", type=int, default=20_000)
-    sim.add_argument("--gen", default="all",
-                     help="M1..M6 or 'all'")
-    sim.set_defaults(func=_cmd_simulate)
-
-    tab = sub.add_parser("tables", help="render Tables I-IV")
-    tab.add_argument("--population", action="store_true",
-                     help="also run the population for Table IV")
-    tab.add_argument("--slices", type=int, default=24)
-    tab.add_argument("--length", type=int, default=12_000)
-    _add_engine_flags(tab)
-    tab.set_defaults(func=_cmd_tables)
-
-    pop = sub.add_parser("population", help="Figures 9/16/17 + summary")
-    pop.add_argument("--slices", type=int, default=24)
-    pop.add_argument("--length", type=int, default=12_000)
-    pop.add_argument("--seed", type=int, default=2020)
-    pop.add_argument("--profile", action="store_true",
-                     help="report engine phase/task wall-time breakdown "
-                          "(forces --no-cache so tasks actually execute)")
-    pop.add_argument("--profile-top", type=int, default=10,
-                     help="slowest tasks to list with --profile")
-    _add_engine_flags(pop)
-    pop.set_defaults(func=_cmd_population)
-
-    f1 = sub.add_parser("fig1", help="GHIST sweep (Figure 1)")
-    f1.add_argument("--traces", type=int, default=5)
-    f1.add_argument("--length", type=int, default=30_000)
-    _add_engine_flags(f1)
-    f1.set_defaults(func=_cmd_fig1)
-
-    rep = sub.add_parser("report", help="full reproduction report")
-    rep.add_argument("--slices", type=int, default=24)
-    rep.add_argument("--length", type=int, default=12_000)
-    rep.add_argument("--out", default=None, help="write to a file")
-    rep.add_argument("--no-fig1", action="store_true")
-    _add_engine_flags(rep)
-    rep.set_defaults(func=_cmd_report)
-
-    fam = sub.add_parser("families", help="list workload families")
-    fam.set_defaults(func=_cmd_families)
-
-    met = sub.add_parser(
-        "metrics", help="hierarchical stat dump + window series")
-    met.add_argument("--family", default="specint_like",
-                     choices=sorted(FAMILIES))
-    met.add_argument("--seed", type=int, default=1)
-    met.add_argument("--length", type=int, default=20_000)
-    met.add_argument("--gen", default="M6", help="M1..M6")
-    met.add_argument("--window", type=int, default=2000,
-                     help="window interval in instructions (0 disables)")
-    met.add_argument("--warmup", type=int, default=1,
-                     help="windows to mark/exclude as warmup")
-    met.add_argument("--json", action="store_true",
-                     help="emit the schema-versioned JSON document")
-    met.add_argument("--window-counters", default=None,
-                     help="comma-separated registry counters the window "
-                          "series should snapshot (default: standard five)")
-    met.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
-                     default=None,
-                     help="diff two saved --json documents instead of "
-                          "running a simulation")
-    met.add_argument("--top", type=int, default=0,
-                     help="with --diff: keep only the N largest relative "
-                          "movers (0 = all, lexicographic)")
-    met.set_defaults(func=_cmd_metrics)
-
-    pv = sub.add_parser(
-        "pipeview", help="flight-recorded pipeline timeline (gem5-"
-                         "o3-pipeview-style) + Chrome/Perfetto export")
-    pv.add_argument("spec", help="trace spec as family:seed:length, "
-                                 "e.g. specint_like:1:8000")
-    pv.add_argument("--gen", default="M6", help="M1..M6")
-    pv.add_argument("--start", type=int, default=0,
-                    help="first trace index to render")
-    pv.add_argument("--count", type=int, default=40,
-                    help="instructions (or events with --events) to render")
-    pv.add_argument("--width", type=int, default=48,
-                    help="timeline band width in columns")
-    pv.add_argument("--capacity", type=int, default=262_144,
-                    help="flight-recorder ring capacity (oldest events "
-                         "drop beyond it)")
-    pv.add_argument("--events", action="store_true",
-                    help="flat event log instead of the stage timeline")
-    pv.add_argument("--chrome", default=None, metavar="OUT.json",
-                    help="also export a Chrome trace-event JSON")
-    pv.add_argument("--save", default=None, metavar="OUT.jsonl",
-                    help="also dump the raw event stream as JSONL")
-    pv.set_defaults(func=_cmd_pipeview)
-
-    lint = sub.add_parser(
-        "lint", help="simlint: determinism & simulation-safety checks")
-    from .analysis.cli import add_lint_arguments
-    add_lint_arguments(lint)
-    lint.set_defaults(func=_cmd_lint)
-    return p
-
-
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+__all__ = ["build_parser", "main"]
 
 
 if __name__ == "__main__":

@@ -1,0 +1,19 @@
+"""The ``python -m repro`` command-line package.
+
+One module per subcommand; each exposes ``NAME``, ``HELP``,
+``configure_parser(parser)`` and ``run(args) -> int``.  The registry
+(:mod:`repro.cli.registry`) collects them declaratively: the parser,
+the dispatcher and the README command table are all derived from the
+single ``COMMANDS`` tuple, so adding a command is one module plus one
+import line.
+"""
+
+from .registry import COMMANDS, Command, build_parser, command_table, main
+
+__all__ = [
+    "COMMANDS",
+    "Command",
+    "build_parser",
+    "command_table",
+    "main",
+]

@@ -1,0 +1,46 @@
+"""Helpers shared by the population-statistic subcommands."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+
+def engine_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Engine knobs shared by the population-statistic commands."""
+    return {
+        "workers": args.workers,
+        "cache": "off" if args.no_cache else "disk",
+        "progress": progress_printer(),
+    }
+
+
+def progress_printer():
+    """A ``progress(done, total)`` callback: live counter on a TTY."""
+    if not sys.stderr.isatty():
+        return None
+
+    def progress(done: int, total: int) -> None:
+        sys.stderr.write(f"\r  engine: {done}/{total} tasks")
+        if done == total:
+            sys.stderr.write("\r" + " " * 40 + "\r")
+        sys.stderr.flush()
+
+    return progress
+
+
+def add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+
+
+def parse_trace_spec(text: str):
+    """``family:seed:length`` → :class:`~repro.traces.spec.TraceSpec`
+    (raises ``ValueError`` on malformed input)."""
+    from ..traces import TraceSpec
+
+    family, seed, length = text.split(":")
+    return TraceSpec(family, int(seed), int(length))

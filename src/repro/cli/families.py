@@ -1,0 +1,21 @@
+"""``python -m repro families`` — list workload families."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..traces import FAMILIES
+
+NAME = "families"
+HELP = "list workload families"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    pass
+
+
+def run(args: argparse.Namespace) -> int:
+    for name in sorted(FAMILIES):
+        doc = (FAMILIES[name].__doc__ or "").strip().splitlines()
+        print(f"  {name:14s} {doc[0] if doc else ''}")
+    return 0

@@ -1,0 +1,28 @@
+"""``python -m repro fig1`` — the Figure 1 GHIST-length sweep."""
+
+from __future__ import annotations
+
+import argparse
+
+from .common import add_engine_flags, engine_kwargs
+
+NAME = "fig1"
+HELP = "GHIST sweep (Figure 1)"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--traces", type=int, default=5)
+    parser.add_argument("--length", type=int, default=30_000)
+    add_engine_flags(parser)
+
+
+def run(args: argparse.Namespace) -> int:
+    from ..harness import figure1_ghist_sweep
+    kwargs = engine_kwargs(args)
+    kwargs.pop("progress", None)
+    sweep = figure1_ghist_sweep(n_traces=args.traces,
+                                trace_length=args.length, **kwargs)
+    print("FIG 1 - avg MPKI vs GHIST range bits")
+    for bits, mpki in sweep.items():
+        print(f"  {bits:4d}: {mpki:5.2f} " + "#" * int(mpki * 8))
+    return 0

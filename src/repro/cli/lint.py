@@ -1,0 +1,18 @@
+"""``python -m repro lint`` — simlint static analysis."""
+
+from __future__ import annotations
+
+import argparse
+
+NAME = "lint"
+HELP = "simlint: determinism & simulation-safety checks"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    from ..analysis.cli import add_lint_arguments
+    add_lint_arguments(parser)
+
+
+def run(args: argparse.Namespace) -> int:
+    from ..analysis.cli import run_lint_command
+    return run_lint_command(args)

@@ -1,0 +1,33 @@
+"""``python -m repro report`` — the full reproduction report."""
+
+from __future__ import annotations
+
+import argparse
+
+from .common import add_engine_flags, engine_kwargs
+
+NAME = "report"
+HELP = "full reproduction report"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--slices", type=int, default=24)
+    parser.add_argument("--length", type=int, default=12_000)
+    parser.add_argument("--out", default=None, help="write to a file")
+    parser.add_argument("--no-fig1", action="store_true")
+    add_engine_flags(parser)
+
+
+def run(args: argparse.Namespace) -> int:
+    from ..harness.report import build_report
+    kwargs = engine_kwargs(args)
+    kwargs.pop("progress", None)
+    text = build_report(n_slices=args.slices, slice_length=args.length,
+                        include_fig1=not args.no_fig1, **kwargs)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0

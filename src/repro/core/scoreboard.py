@@ -62,6 +62,12 @@ class CoreStats(StatsView):
         "icache_stall_cycles": "core.fetch.icache_stall_cycles",
         "cascaded_loads": "core.cascaded_loads",
         "zero_cycle_moves": "core.zero_cycle_moves",
+        # Per-instruction CPI-stack stall attribution, folded into
+        # counters at retire so windowed collection can bucket stalls
+        # without tracing (same attribution as InstEvent.stall).
+        "stall_mispredict_cycles": "core.stall.mispredict_cycles",
+        "stall_frontend_cycles": "core.stall.frontend_cycles",
+        "stall_memory_cycles": "core.stall.memory_cycles",
     }
     _DERIVED = {"ipc": "core.ipc"}
     _FORMULAS = (
@@ -189,6 +195,9 @@ class Scoreboard:
         c_ic_stall = stats.cell("icache_stall_cycles")
         c_cascaded = stats.cell("cascaded_loads")
         c_zcm = stats.cell("zero_cycle_moves")
+        c_st_mp = stats.cell("stall_mispredict_cycles")
+        c_st_fe = stats.cell("stall_frontend_cycles")
+        c_st_mem = stats.cell("stall_memory_cycles")
 
         completions: List[float] = [0.0] * _DEP_WINDOW  # ring buffer
         is_load_at: List[bool] = [False] * _DEP_WINDOW
@@ -206,13 +215,11 @@ class Scoreboard:
         # values the loop computed anyway, so attaching a sink never
         # changes simulated timing.
         trc = self.sink
-        ev_ic_stall = 0.0
 
         for i, rec in enumerate(trace):
             c_instr.value += 1
-            if trc is not None:
-                ev_ic_stall = 0.0
-                ev_branch = None
+            ic_stall = 0.0
+            branch_result = None
 
             # ---- fetch/dispatch supply -----------------------------------
             if group_count >= cfg.fetch_width:
@@ -229,8 +236,7 @@ class Scoreboard:
                         c_ic_stall.value += stall
                         group_count = 0
                         group_branches = 0
-                        if trc is not None:
-                            ev_ic_stall = stall
+                        ic_stall = stall
             dispatch = fetch_time
             if trc is not None:
                 ev_fetch = dispatch  # fetch supply before ROB backpressure
@@ -297,9 +303,9 @@ class Scoreboard:
                     if trc is not None:
                         result = self.branch_unit.process_branch(
                             rec, now=completion)
-                        ev_branch = result
                     else:
                         result = self.branch_unit.process_branch(rec)
+                    branch_result = result
                     if result.mispredicted:
                         c_mispredicts.value += 1
                         restart = completion + cfg.mispredict_penalty
@@ -328,27 +334,39 @@ class Scoreboard:
                         group_count = 0
                         group_branches = 0
 
+            # ---- stall attribution (CPI-stack buckets) -------------------
+            # Mirrors the interval model's CPI buckets; priority
+            # mispredict > front end > memory.  Computed every retire —
+            # the counters feed windowed stall buckets with tracing off,
+            # and the same (bucket, stall) pair stamps the InstEvent, so
+            # a trace histogram reconciles with the counters exactly.
+            bucket = "base"
+            stall = 0.0
+            if ic_stall:
+                bucket = "frontend_bubbles"
+                stall = ic_stall
+            if rec.kind == Kind.LOAD:
+                exposed = latency - cfg.l1_hit_latency
+                if exposed > stall:
+                    bucket = "memory"
+                    stall = exposed
+            if branch_result is not None:
+                if branch_result.mispredicted:
+                    bucket = "mispredict"
+                    stall = float(cfg.mispredict_penalty)
+                elif branch_result.bubbles > stall:
+                    bucket = "frontend_bubbles"
+                    stall = float(branch_result.bubbles)
+            if stall:
+                if bucket == "mispredict":
+                    c_st_mp.value += stall
+                elif bucket == "frontend_bubbles":
+                    c_st_fe.value += stall
+                else:
+                    c_st_mem.value += stall
+
             # ---- flight recorder -----------------------------------------
             if trc is not None:
-                # Stall attribution mirrors the interval model's CPI
-                # buckets; priority mispredict > front end > memory.
-                bucket = "base"
-                stall = 0.0
-                if ev_ic_stall:
-                    bucket = "frontend_bubbles"
-                    stall = ev_ic_stall
-                if rec.kind == Kind.LOAD:
-                    exposed = latency - cfg.l1_hit_latency
-                    if exposed > stall:
-                        bucket = "memory"
-                        stall = exposed
-                if ev_branch is not None:
-                    if ev_branch.mispredicted:
-                        bucket = "mispredict"
-                        stall = float(cfg.mispredict_penalty)
-                    elif ev_branch.bubbles > stall:
-                        bucket = "frontend_bubbles"
-                        stall = float(ev_branch.bubbles)
                 trc.emit(InstEvent(
                     seq=-1, cycle=completion, index=i, pc=rec.pc,
                     kind=rec.kind.name, fetch=ev_fetch, dispatch=dispatch,

@@ -22,8 +22,15 @@ from typing import Any, Dict, List
 from ..metrics.windows import WindowSample, window_metric_series
 
 #: Version of the serialized SliceMetrics/PopulationResult record.
-#: History: 1 = flat scalar rows; 2 = adds per-window metric series.
-RESULT_SCHEMA_VERSION = 2
+#: History: 1 = flat scalar rows; 2 = adds per-window metric series;
+#: 3 = window values carry the per-bucket stall-cycle counters
+#: (``core.stall.*``) alongside the original five window counters.
+RESULT_SCHEMA_VERSION = 3
+
+#: Every schema this build can read.  Schema 1 rows carry no windows;
+#: schema 2 windows simply lack the stall counters (their stall
+#: breakdown reads as all-base).
+READABLE_SCHEMAS = (1, 2, RESULT_SCHEMA_VERSION)
 
 
 @dataclass
@@ -69,12 +76,13 @@ class SliceMetrics:
     def from_dict(cls, data: Dict[str, Any]) -> "SliceMetrics":
         """Rebuild a row from :meth:`to_dict` output.
 
-        Accepts schema 1 rows (no ``schema`` key or ``schema == 1``;
-        they carry no windows) and schema 2; anything newer is an
-        explicit error rather than a silent misread.
+        Accepts every schema in :data:`READABLE_SCHEMAS` (schema 1 rows
+        carry no windows; schema 2 windows predate the stall counters);
+        anything newer is an explicit error rather than a silent
+        misread.
         """
         schema = data.get("schema", 1)
-        if schema not in (1, RESULT_SCHEMA_VERSION):
+        if schema not in READABLE_SCHEMAS:
             raise ValueError(
                 f"unsupported SliceMetrics schema {schema!r} "
                 f"(this build reads <= {RESULT_SCHEMA_VERSION})")

@@ -293,7 +293,8 @@ def run_population(
 
 def run(trace_or_spec: TraceLike,
         generation: Union[str, GenerationConfig], *,
-        corunners: int = 0):
+        corunners: int = 0,
+        trace_to=None):
     """Simulate one trace on one generation — the one-stop entry point.
 
     ``trace_or_spec`` may be a materialized :class:`~repro.traces.types
@@ -302,6 +303,16 @@ def run(trace_or_spec: TraceLike,
     (``"M1"`` .. ``"M6"``) or a full :class:`~repro.config
     .GenerationConfig` (e.g. a design-exploration variant).  Returns the
     full :class:`~repro.core.simulator.SimulationResult`.
+
+    ``trace_to`` turns pipeline event tracing on (the public API —
+    hand-wiring a sink into ``GenerationSimulator`` is the deprecated
+    spelling): ``True`` captures in memory (``result.events``), a
+    directory path streams chunked JSONL + manifest there, a ``.jsonl``
+    path writes one flat event file, and an existing
+    :class:`~repro.observe.TraceSink` / :class:`~repro.observe
+    .StreamingTraceSink` is used as-is (see
+    :func:`repro.observe.trace`).  Default ``None``: tracing off, the
+    zero-overhead path.
     """
     from ..core import GenerationSimulator
 
@@ -309,4 +320,14 @@ def run(trace_or_spec: TraceLike,
               else get_generation(generation))
     trace = (trace_or_spec if isinstance(trace_or_spec, Trace)
              else coerce_spec(trace_or_spec).build())
-    return GenerationSimulator(config, corunners=corunners).run(trace)
+    if trace_to is None:
+        return GenerationSimulator(config, corunners=corunners).run(trace)
+
+    from ..observe.stream import trace as trace_capture
+
+    target = None if trace_to is True else trace_to
+    spec_meta = {"generation": config.name, "trace": trace.name}
+    with trace_capture(target, meta=spec_meta) as sink:
+        sim = GenerationSimulator(config, corunners=corunners,
+                                  trace_sink=sink)
+        return sim.run(trace)

@@ -47,8 +47,10 @@ from ..traces.types import Trace
 #: History: 1 = flat scalar rows; 2 = schema-versioned rows carrying
 #: per-window metric series (window_interval joined the payload);
 #: 3 = configurable window counters joined the population payload and
-#: the "pipetrace" task kind landed.
-ENGINE_SCHEMA_VERSION = 3
+#: the "pipetrace" task kind landed; 4 = default windows carry the
+#: stall-bucket counters (result schema 3) and "pipetrace" accepts an
+#: unbounded capture (``capacity=None``).
+ENGINE_SCHEMA_VERSION = 4
 
 
 def population_task(config: GenerationConfig, spec: TraceSpec,
@@ -69,8 +71,13 @@ def population_task(config: GenerationConfig, spec: TraceSpec,
 
 def pipetrace_task(config: GenerationConfig, spec: TraceSpec,
                    corunners: int = 0,
-                   capacity: int = 65536) -> Dict[str, Any]:
-    """One flight-recorded simulator run (events in the result)."""
+                   capacity: Optional[int] = 65536) -> Dict[str, Any]:
+    """One flight-recorded simulator run (events in the result).
+
+    ``capacity`` bounds the ring; ``None`` captures the complete stream
+    (the mode chunked streaming and ``repro tracediff`` use — nothing
+    is dropped no matter how long the trace is).
+    """
     return {
         "kind": "pipetrace",
         "config": config_to_dict(config),

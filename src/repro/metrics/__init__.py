@@ -18,8 +18,9 @@ from .diff import diff_metric_documents, render_metric_diff
 from .formulas import STANDARD_FORMULAS
 from .registry import (Counter, Formula, Gauge, MetricRegistry,
                        MetricSnapshot, StatsView)
-from .windows import (DEFAULT_WINDOW_INSTRUCTIONS, WINDOW_COUNTERS,
-                      WindowRecorder, WindowSample, window_metric_series)
+from .windows import (DEFAULT_WINDOW_INSTRUCTIONS, STALL_WINDOW_COUNTERS,
+                      WINDOW_COUNTERS, WindowRecorder, WindowSample,
+                      window_metric_series)
 
 __all__ = [
     "Counter",
@@ -30,6 +31,7 @@ __all__ = [
     "StatsView",
     "STANDARD_FORMULAS",
     "DEFAULT_WINDOW_INSTRUCTIONS",
+    "STALL_WINDOW_COUNTERS",
     "WINDOW_COUNTERS",
     "WindowRecorder",
     "WindowSample",

@@ -15,6 +15,7 @@ series whether the run executes serially or inside a worker process.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -27,14 +28,26 @@ DEFAULT_WINDOW_INSTRUCTIONS = 2000
 
 #: Counters captured per window.  Kept deliberately small: each window
 #: stores one dict of these deltas, and everything downstream (IPC,
-#: MPKI, average load latency) derives from them.
+#: MPKI, average load latency, the stall-bucket breakdown) derives
+#: from them.
 WINDOW_COUNTERS: Tuple[str, ...] = (
     "core.instructions",
     "core.cycles",
     "core.branch_mispredicts",
     "mem.loads",
     "mem.load_latency_sum",
+    "core.stall.mispredict_cycles",
+    "core.stall.frontend_cycles",
+    "core.stall.memory_cycles",
 )
+
+#: Window counter name per CPI-stack stall bucket (``base`` is the
+#: residual: window cycles not attributed to any stall bucket).
+STALL_WINDOW_COUNTERS: Dict[str, str] = {
+    "mispredict": "core.stall.mispredict_cycles",
+    "frontend_bubbles": "core.stall.frontend_cycles",
+    "memory": "core.stall.memory_cycles",
+}
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,29 @@ class WindowSample:
         return formulas.average_latency(
             self.values.get("mem.load_latency_sum", 0),
             self.values.get("mem.loads", 0))
+
+    @property
+    def stall_cycles(self) -> Dict[str, float]:
+        """Per-bucket stall cycles attributed inside this window, with
+        ``base`` as the unattributed residual (clamped at 0; attribution
+        is per-retire while cycles are end-to-end elapsed time, so
+        overlap can push the nominal residual slightly negative)."""
+        out = {bucket: float(self.values.get(counter, 0))
+               for bucket, counter in STALL_WINDOW_COUNTERS.items()}
+        cycles = float(self.values.get("core.cycles", 0))
+        attributed = math.fsum(v for _, v in sorted(out.items()))
+        out["base"] = max(0.0, cycles - attributed)
+        return out
+
+    @property
+    def stall_fractions(self) -> Dict[str, float]:
+        """:attr:`stall_cycles` normalized by window cycles (all zero
+        for an empty window)."""
+        cycles = float(self.values.get("core.cycles", 0))
+        stalls = self.stall_cycles
+        if cycles <= 0:
+            return {bucket: 0.0 for bucket in stalls}
+        return {bucket: v / cycles for bucket, v in stalls.items()}
 
     def metric(self, name: str) -> Number:
         """A raw counter delta or a derived per-window metric."""

@@ -2,11 +2,16 @@
 
 The observability layer: an opt-in, bounded flight recorder
 (:class:`TraceSink`) that the scoreboard, branch unit, uop-cache
-controller and memory hierarchy emit lifecycle events into; exporters
-for Chrome/Perfetto (:func:`chrome_trace_json`) and a gem5-pipeview-
-style ASCII timeline (:func:`render_pipeview`, the ``python -m repro
-pipeview`` subcommand); and the engine self-profiling report types
-behind ``python -m repro population --profile``.
+controller and memory hierarchy emit lifecycle events into; chunked
+persistence past the ring (:class:`StreamingTraceSink` and the
+:func:`trace` capture API); generation-over-generation divergence
+analysis (:func:`diff_event_streams`, the ``python -m repro
+tracediff`` subcommand); exporters for Chrome/Perfetto
+(:func:`chrome_trace_json`, with per-window counter tracks) and a
+gem5-pipeview-style ASCII timeline (:func:`render_pipeview`, the
+``python -m repro pipeview`` subcommand); and the engine
+self-profiling report types behind ``python -m repro population
+--profile``.
 
 Contracts (``docs/observability.md``):
 
@@ -20,7 +25,11 @@ Contracts (``docs/observability.md``):
   (:func:`events_to_jsonl`) across serial and worker execution.
 """
 
-from .chrome import chrome_trace, chrome_trace_json  # noqa: F401
+from .chrome import (  # noqa: F401
+    chrome_trace,
+    chrome_trace_json,
+    window_counter_events,
+)
 from .events import (  # noqa: F401
     STALL_BUCKETS,
     BranchEvent,
@@ -41,6 +50,25 @@ from .profile import (  # noqa: F401
     slowest_tasks,
 )
 from .sink import DEFAULT_CAPACITY, TraceSink, maybe_sink  # noqa: F401
+from .stream import (  # noqa: F401
+    DEFAULT_CHUNK_EVENTS,
+    MANIFEST_NAME,
+    STREAM_SCHEMA_VERSION,
+    StreamingTraceSink,
+    iter_stream_events,
+    load_events,
+    read_manifest,
+    read_stream_events,
+    stream_event_dicts,
+    trace,
+)
+from .tracediff import (  # noqa: F401
+    DIVERGENCE_CLASSES,
+    Divergence,
+    TraceDiff,
+    diff_event_streams,
+    render_tracediff,
+)
 
 __all__ = [
     "STALL_BUCKETS",
@@ -56,8 +84,24 @@ __all__ = [
     "TraceSink",
     "DEFAULT_CAPACITY",
     "maybe_sink",
+    "StreamingTraceSink",
+    "DEFAULT_CHUNK_EVENTS",
+    "MANIFEST_NAME",
+    "STREAM_SCHEMA_VERSION",
+    "iter_stream_events",
+    "read_stream_events",
+    "read_manifest",
+    "load_events",
+    "stream_event_dicts",
+    "trace",
+    "DIVERGENCE_CLASSES",
+    "Divergence",
+    "TraceDiff",
+    "diff_event_streams",
+    "render_tracediff",
     "chrome_trace",
     "chrome_trace_json",
+    "window_counter_events",
     "render_pipeview",
     "render_event_log",
     "PHASES",

@@ -7,6 +7,12 @@ events for branch resolutions and uop-cache mode transitions, and async
 begin/end pairs (``"ph": "b"``/``"e"``) for in-flight memory operations
 so overlapping misses render as overlapping slices.
 
+Passing the run's :class:`~repro.metrics.WindowSample` series via
+``windows=`` additionally emits *counter tracks* (``"ph": "C"``): one
+sample per window boundary for per-window IPC, MPKI and the stall-
+bucket cycle split, rendered by Perfetto as stepped counter plots above
+the slice tracks.
+
 Cycles map 1:1 onto the format's microsecond timestamps — load the file
 in https://ui.perfetto.dev or chrome://tracing and read "us" as
 "cycles".  Output is deterministic for a given event stream:
@@ -17,8 +23,9 @@ ordered by sequence number.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from ..metrics.windows import WindowSample
 from .events import (BranchEvent, InstEvent, MemEvent, PrefetchEvent,
                      TraceEvent, UocModeEvent)
 
@@ -48,9 +55,40 @@ def _slice(name: str, tid: int, start: float, end: float,
             "args": args}
 
 
+def _counter(name: str, ts: float, values: Dict[str, Any]
+             ) -> Dict[str, Any]:
+    return {"ph": "C", "name": name, "pid": _PID, "tid": 0,
+            "ts": ts, "cat": "window", "args": values}
+
+
+def window_counter_events(windows: Sequence[WindowSample]
+                          ) -> List[Dict[str, Any]]:
+    """Per-window counter samples (``"ph": "C"``) for the IPC/MPKI and
+    stall-bucket tracks.  Each window contributes one sample stamped at
+    the simulated cycle its interval ended (cumulative ``core.cycles``
+    deltas), so the counter plot lines up with the slice tracks."""
+    out: List[Dict[str, Any]] = []
+    cum_cycles = 0.0
+    for w in windows:
+        cum_cycles += float(w.values.get("core.cycles", 0))
+        out.append(_counter("IPC (window)", cum_cycles,
+                            {"ipc": w.ipc}))
+        out.append(_counter("MPKI (window)", cum_cycles,
+                            {"mpki": w.mpki}))
+        out.append(_counter("stall cycles (window)", cum_cycles,
+                            dict(sorted(w.stall_cycles.items()))))
+    return out
+
+
 def chrome_trace(events: Iterable[TraceEvent], *, generation: str = "",
-                 trace_name: str = "") -> Dict[str, Any]:
-    """Build the Trace Event Format JSON object for an event stream."""
+                 trace_name: str = "",
+                 windows: Optional[Sequence[WindowSample]] = None
+                 ) -> Dict[str, Any]:
+    """Build the Trace Event Format JSON object for an event stream.
+
+    ``windows`` (a run's :class:`WindowSample` series) adds per-window
+    IPC/MPKI/stall counter tracks next to the slice tracks.
+    """
     out: List[Dict[str, Any]] = [
         _meta("process_name", 0,
               f"repro {generation or 'core'}"
@@ -108,6 +146,9 @@ def chrome_trace(events: Iterable[TraceEvent], *, generation: str = "",
                 "args": {"block_pc": f"{e.block_pc:#x}"},
             })
 
+    if windows:
+        out.extend(window_counter_events(windows))
+
     return {
         "traceEvents": out,
         "displayTimeUnit": "ms",
@@ -121,9 +162,10 @@ def chrome_trace(events: Iterable[TraceEvent], *, generation: str = "",
 
 def chrome_trace_json(events: Iterable[TraceEvent], *,
                       generation: str = "", trace_name: str = "",
+                      windows: Optional[Sequence[WindowSample]] = None,
                       indent: int = 0) -> str:
     """Deterministic JSON text of :func:`chrome_trace` (sorted keys)."""
     doc = chrome_trace(events, generation=generation,
-                       trace_name=trace_name)
+                       trace_name=trace_name, windows=windows)
     return json.dumps(doc, sort_keys=True,
                       indent=indent if indent > 0 else None)

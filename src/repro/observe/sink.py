@@ -12,7 +12,11 @@ The buffer is bounded (``capacity`` events, default
 :data:`DEFAULT_CAPACITY`): once full, the oldest events are overwritten
 flight-recorder style, and :attr:`TraceSink.dropped` reports how many
 fell off the front.  Emission order is preserved; ``events()`` returns
-the retained window oldest-first.
+the retained window oldest-first.  ``capacity=None`` disables the bound
+entirely — every event is retained (the capture mode the streaming
+layer and ``repro tracediff`` build on); traces longer than memory
+allows should go through
+:class:`~repro.observe.stream.StreamingTraceSink` instead.
 
 Determinism: the sink records only values the simulation already
 computed — cycle stamps, PCs, predictor outcomes — never wall-clock or
@@ -34,14 +38,16 @@ DEFAULT_CAPACITY = 65536
 
 
 class TraceSink:
-    """Bounded, overwrite-oldest event buffer."""
+    """Bounded, overwrite-oldest event buffer (unbounded if capacity is
+    ``None``)."""
 
     __slots__ = ("capacity", "emitted", "_buffer", "_head")
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
-        if capacity <= 0:
+    def __init__(self,
+                 capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity <= 0:
             raise ValueError("trace sink capacity must be positive")
-        self.capacity = int(capacity)
+        self.capacity = int(capacity) if capacity is not None else None
         #: Total events ever emitted (retained + dropped).
         self.emitted = 0
         self._buffer: List[TraceEvent] = []
@@ -50,13 +56,15 @@ class TraceSink:
     @property
     def dropped(self) -> int:
         """Events overwritten by newer ones (flight-recorder loss)."""
+        if self.capacity is None:
+            return 0
         return max(0, self.emitted - self.capacity)
 
     def emit(self, event: TraceEvent) -> None:
         """Stamp ``event`` with the next sequence number and retain it."""
         event.seq = self.emitted
         self.emitted += 1
-        if len(self._buffer) < self.capacity:
+        if self.capacity is None or len(self._buffer) < self.capacity:
             self._buffer.append(event)
         else:
             self._buffer[self._head] = event

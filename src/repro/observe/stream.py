@@ -1,0 +1,292 @@
+"""Chunked trace streaming: durable event persistence past the ring.
+
+The flight recorder (:class:`~repro.observe.sink.TraceSink`) keeps only
+the *tail* of a run — a trace longer than the ring loses its beginning.
+:class:`StreamingTraceSink` removes that bound by spilling the event
+stream to disk in bounded, sorted-key JSONL chunks::
+
+    trace_dir/
+        trace-000001.jsonl      # chunk_events events, one JSON line each
+        trace-000002.jsonl
+        ...
+        manifest.json           # chunk index: event counts + byte offsets
+
+Chunks hold exactly ``chunk_events`` events (the final one may be
+partial) in emission order, serialized through the same canonical
+:func:`~repro.observe.events.events_to_jsonl` form as everything else
+in the tracing layer — so for a fixed seed the on-disk bytes are
+identical whether the events were produced serially or inside a worker
+process, and ``cat trace-*.jsonl`` is itself a valid event stream.
+
+The manifest records, per chunk, the file name, event count, first/last
+sequence number, byte size, and the byte offset of the chunk within the
+concatenated stream, plus stream totals — so integrity is checkable
+without reading any chunk (``manifest event count == emitted``) and a
+reader can seek to an arbitrary sequence number by offset arithmetic.
+
+:func:`trace` is the public capture API: a context manager that turns a
+target (directory, ``.jsonl`` path, existing sink, or ``None`` for
+in-memory) into the right sink and guarantees the flush/manifest write
+on exit.  ``repro.run(..., trace_to=...)`` wraps it; hand-wiring a sink
+into ``GenerationSimulator(trace_sink=...)`` still works but is the
+deprecated spelling (``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import (Any, Dict, Iterable, Iterator, List, Optional,
+                    Union)
+
+from .events import (TraceEvent, event_from_dict, events_from_jsonl,
+                     events_to_jsonl)
+from .sink import TraceSink
+
+#: Bump when the manifest/chunk layout changes.
+STREAM_SCHEMA_VERSION = 1
+
+#: Events per chunk file.  Small enough that a chunk is a cheap unit of
+#: IO and diffing, large enough that a full default CLI run stays in a
+#: handful of files.
+DEFAULT_CHUNK_EVENTS = 16384
+
+MANIFEST_NAME = "manifest.json"
+_CHUNK_TEMPLATE = "trace-{:06d}.jsonl"
+
+
+class StreamingTraceSink:
+    """Spills the event stream to disk in bounded JSONL chunks.
+
+    Drop-in for :class:`TraceSink` at every emission site (producers
+    only call ``emit``): events are buffered up to ``chunk_events`` and
+    flushed as numbered chunk files; :meth:`close` flushes the final
+    partial chunk and writes the manifest.  Nothing is ever dropped —
+    ``dropped`` exists for interface parity and is always 0.
+
+    ``meta`` (generation name, trace spec, ...) is carried verbatim
+    into the manifest for later identification; it must be JSON-safe.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        self.directory = os.fspath(directory)
+        self.chunk_events = int(chunk_events)
+        self.meta = dict(meta) if meta else {}
+        #: Total events emitted into the stream.
+        self.emitted = 0
+        #: Interface parity with TraceSink; streaming never drops.
+        self.dropped = 0
+        self.closed = False
+        self._buffer: List[TraceEvent] = []
+        self._chunks: List[Dict[str, Any]] = []
+        self._offset = 0  # byte offset within the concatenated stream
+        os.makedirs(self.directory, exist_ok=True)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Stamp ``event`` with the next sequence number and buffer it."""
+        if self.closed:
+            raise ValueError("cannot emit into a closed stream")
+        event.seq = self.emitted
+        self.emitted += 1
+        self._buffer.append(event)
+        if len(self._buffer) >= self.chunk_events:
+            self._flush_chunk()
+
+    def events(self) -> List[TraceEvent]:
+        """The not-yet-flushed tail (interface parity with TraceSink).
+
+        The durable record is on disk; use :func:`iter_stream_events`
+        on the directory after :meth:`close` for the full stream.
+        """
+        return list(self._buffer)
+
+    def _flush_chunk(self) -> None:
+        if not self._buffer:
+            return
+        name = _CHUNK_TEMPLATE.format(len(self._chunks) + 1)
+        data = (events_to_jsonl(self._buffer) + "\n").encode("utf-8")
+        with open(os.path.join(self.directory, name), "wb") as f:
+            f.write(data)
+        self._chunks.append({
+            "file": name,
+            "events": len(self._buffer),
+            "first_seq": self._buffer[0].seq,
+            "last_seq": self._buffer[-1].seq,
+            "bytes": len(data),
+            "offset": self._offset,
+        })
+        self._offset += len(data)
+        self._buffer = []
+
+    def manifest(self) -> Dict[str, Any]:
+        """The manifest document (chunk index + stream totals)."""
+        return {
+            "schema": STREAM_SCHEMA_VERSION,
+            "chunk_events": self.chunk_events,
+            "events": self.emitted,
+            "dropped": self.dropped,
+            "bytes": self._offset,
+            "chunks": list(self._chunks),
+            "meta": dict(self.meta),
+        }
+
+    def close(self) -> Dict[str, Any]:
+        """Flush the final partial chunk and write ``manifest.json``."""
+        if not self.closed:
+            self._flush_chunk()
+            self.closed = True
+            doc = self.manifest()
+            text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            with open(os.path.join(self.directory, MANIFEST_NAME),
+                      "w") as f:
+                f.write(text)
+        return self.manifest()
+
+    def __enter__(self) -> "StreamingTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.emitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StreamingTraceSink({self.directory!r}, "
+                f"chunk_events={self.chunk_events}, "
+                f"emitted={self.emitted}, chunks={len(self._chunks)})")
+
+
+# ---------------------------------------------------------------------------
+# Reading a persisted stream back
+# ---------------------------------------------------------------------------
+
+def read_manifest(directory: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Load and validate a stream directory's ``manifest.json``."""
+    path = os.path.join(os.fspath(directory), MANIFEST_NAME)
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != STREAM_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace stream schema {schema!r} "
+            f"(this build reads {STREAM_SCHEMA_VERSION})")
+    return doc
+
+
+def iter_stream_events(directory: Union[str, os.PathLike]
+                       ) -> Iterator[TraceEvent]:
+    """Lazily yield every event of a persisted stream, oldest first.
+
+    Reads one chunk at a time, so arbitrarily long streams replay in
+    bounded memory.  Raises ``ValueError`` if a chunk's event count
+    disagrees with the manifest (truncation/corruption check).
+    """
+    directory = os.fspath(directory)
+    manifest = read_manifest(directory)
+    for entry in manifest["chunks"]:
+        with open(os.path.join(directory, entry["file"])) as f:
+            events = events_from_jsonl(f.read())
+        if len(events) != entry["events"]:
+            raise ValueError(
+                f"chunk {entry['file']} holds {len(events)} events, "
+                f"manifest says {entry['events']}")
+        yield from events
+
+
+def read_stream_events(directory: Union[str, os.PathLike]
+                       ) -> List[TraceEvent]:
+    """The whole persisted stream as a list (small streams/tests)."""
+    return list(iter_stream_events(directory))
+
+
+def load_events(path: Union[str, os.PathLike]) -> List[TraceEvent]:
+    """Events from either stream layout: a chunked stream directory
+    (``manifest.json`` present) or a flat ``.jsonl`` event file."""
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        return read_stream_events(path)
+    with open(path) as f:
+        return events_from_jsonl(f.read())
+
+
+def stream_event_dicts(sink: StreamingTraceSink,
+                       dicts: Iterable[Dict[str, Any]]) -> None:
+    """Feed serialized event dicts (e.g. a ``pipetrace`` task result's
+    ``events`` list) through ``sink``, re-stamping sequence numbers in
+    arrival order.  This is the host-side bridge that persists worker-
+    produced streams: the engine returns results in payload order, so
+    serial and ``workers=N`` runs write byte-identical chunks."""
+    for d in dicts:
+        sink.emit(event_from_dict(d))
+
+
+# ---------------------------------------------------------------------------
+# The public capture API
+# ---------------------------------------------------------------------------
+
+TraceTarget = Union[None, str, os.PathLike, TraceSink, StreamingTraceSink]
+
+
+@contextlib.contextmanager
+def trace(target: TraceTarget = None, *,
+          chunk_events: int = DEFAULT_CHUNK_EVENTS,
+          meta: Optional[Dict[str, Any]] = None):
+    """Context manager yielding the right sink for ``target``.
+
+    - ``None`` — an unbounded in-memory :class:`TraceSink` (read
+      ``sink.events()`` / ``result.events`` afterwards);
+    - a directory path — a :class:`StreamingTraceSink` writing chunked
+      JSONL + manifest there (closed on exit);
+    - a ``*.jsonl`` path — in-memory capture, written as one flat
+      sorted-key JSONL file on exit;
+    - an existing sink — passed through (a ``StreamingTraceSink`` is
+      closed on exit so callers can't forget the manifest).
+
+    This is the supported way to wire tracing up::
+
+        from repro.observe import trace
+
+        with trace("run_trace/") as sink:
+            repro.run(("specint_like", 1), "M6", trace_to=sink)
+
+    (or just ``repro.run(..., trace_to="run_trace/")``, which wraps
+    this).  Handing a sink straight to ``GenerationSimulator`` remains
+    supported but deprecated.
+    """
+    if target is None:
+        yield TraceSink(capacity=None)
+        return
+    if isinstance(target, StreamingTraceSink):
+        try:
+            yield target
+        finally:
+            target.close()
+        return
+    if isinstance(target, TraceSink):
+        yield target
+        return
+    path = os.fspath(target)
+    if path.endswith(".jsonl"):
+        sink = TraceSink(capacity=None)
+        try:
+            yield sink
+        finally:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(path, "w") as f:
+                text = events_to_jsonl(sink.events())
+                f.write(text + "\n" if text else text)
+        return
+    streaming = StreamingTraceSink(path, chunk_events=chunk_events,
+                                   meta=meta)
+    try:
+        yield streaming
+    finally:
+        streaming.close()

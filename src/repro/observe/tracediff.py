@@ -1,0 +1,296 @@
+"""Trace divergence analysis: where do two generations part ways?
+
+Two simulations of the *same* seeded workload (``family:seed:length``)
+on different generations retire the same micro-ops in the same order —
+the trace is the program.  What differs is behaviour: which branches
+mispredict, which level serves each access, what the uop-cache mode
+machine does, and where the cycles go.  This module aligns two event
+streams along that shared skeleton and reports exactly where they
+diverge:
+
+- :class:`~repro.observe.events.InstEvent` pairs align by trace
+  ``index`` and are compared on their CPI-stack stall bucket;
+- :class:`~repro.observe.events.BranchEvent` pairs align by branch
+  ordinal (the i-th resolved branch is the same static branch in both
+  runs) and are compared on mispredict, predicted direction/target and
+  predicting unit;
+- :class:`~repro.observe.events.MemEvent` pairs align by access ordinal
+  and are compared on serving level, TLB level, and prefetch touch;
+- :class:`~repro.observe.events.UocModeEvent` sequences are compared as
+  mode transitions (a generation without a UOC simply has none).
+
+Timing fields (cycle stamps, latencies, bubbles) are deliberately *not*
+divergence classes — they differ everywhere between generations, which
+is the measurement, not the anomaly.  The divergence classes isolate
+behavioural deltas, and ``first`` pinpoints the earliest one in
+retire/emission order — the paper's generation-over-generation CPI
+stacks (Figures 9/16/17), localized to a single event.
+
+Everything is a pure function of the two event lists: same streams,
+same diff, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .events import (BranchEvent, InstEvent, MemEvent, PrefetchEvent,
+                     TraceEvent, UocModeEvent)
+
+#: Every divergence class the differ can report, in the priority order
+#: used to break exact seq ties in ``first``.
+DIVERGENCE_CLASSES: Tuple[str, ...] = (
+    "stream.structure",    # the two streams are not the same workload
+    "branch.mispredict",   # one generation mispredicts, the other not
+    "branch.direction",    # different predicted direction
+    "branch.target",       # different predicted target
+    "branch.unit",         # different predictor component drove it
+    "mem.level",           # different serving level (miss vs hit, ...)
+    "mem.tlb",             # different TLB translation level
+    "mem.prefetch_touch",  # prefetch covered the line in only one run
+    "uoc.mode",            # different uop-cache mode transition
+    "uoc.length",          # different number of UOC transitions
+    "inst.stall",          # different CPI-stack stall attribution
+    "inst.length",         # different number of instruction events
+)
+
+_CLASS_RANK = {name: i for i, name in enumerate(DIVERGENCE_CLASSES)}
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One aligned event pair that disagrees."""
+
+    #: Divergence class (one of :data:`DIVERGENCE_CLASSES`).
+    kind: str
+    #: Sequence number of the event in stream A (ordering anchor).
+    seq: int
+    #: Trace index of the owning/next retired micro-op (-1 if unknown).
+    instruction: int
+    pc: int
+    #: The disagreeing values, one per stream.
+    a: Any
+    b: Any
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "seq": self.seq,
+                "instruction": self.instruction, "pc": self.pc,
+                "a": self.a, "b": self.b}
+
+
+@dataclass
+class TraceDiff:
+    """The full divergence report for one stream pair."""
+
+    a_label: str
+    b_label: str
+    workload: str
+    #: Earliest divergence in stream-A emission order (None: streams
+    #: agree on every compared field).
+    first: Optional[Divergence]
+    #: Divergence count per class, over the whole alignment.
+    counts: Dict[str, int]
+    #: Aligned pairs per event family.
+    compared: Dict[str, int]
+    a_events: int
+    b_events: int
+
+    @property
+    def diverged(self) -> bool:
+        return self.first is not None
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(count for _, count in sorted(self.counts.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "a": self.a_label,
+            "b": self.b_label,
+            "workload": self.workload,
+            "a_events": self.a_events,
+            "b_events": self.b_events,
+            "compared": dict(self.compared),
+            "counts": dict(self.counts),
+            "first": self.first.to_dict() if self.first else None,
+        }
+
+
+def _partition(events: Sequence[TraceEvent]):
+    insts: List[InstEvent] = []
+    branches: List[BranchEvent] = []
+    mems: List[MemEvent] = []
+    uocs: List[UocModeEvent] = []
+    prefetches = 0
+    for e in events:
+        if isinstance(e, InstEvent):
+            insts.append(e)
+        elif isinstance(e, BranchEvent):
+            branches.append(e)
+        elif isinstance(e, MemEvent):
+            mems.append(e)
+        elif isinstance(e, UocModeEvent):
+            uocs.append(e)
+        elif isinstance(e, PrefetchEvent):
+            prefetches += 1
+    return insts, branches, mems, uocs, prefetches
+
+
+def _instruction_anchors(events: Sequence[TraceEvent]) -> Dict[int, int]:
+    """Map every stream-A seq to the trace index of the retired
+    micro-op it belongs to.  Producers emit an instruction's branch/mem
+    events before its :class:`InstEvent`, so the anchor of any event is
+    the index of the next instruction event at or after it."""
+    anchors: Dict[int, int] = {}
+    pending: List[int] = []
+    for e in events:
+        pending.append(e.seq)
+        if isinstance(e, InstEvent):
+            for seq in pending:
+                anchors[seq] = e.index
+            pending = []
+    for seq in pending:  # trailing non-inst events keep the last index
+        anchors[seq] = -1
+    return anchors
+
+
+def diff_event_streams(a_events: Sequence[TraceEvent],
+                       b_events: Sequence[TraceEvent], *,
+                       a_label: str = "A", b_label: str = "B",
+                       workload: str = "") -> TraceDiff:
+    """Align two same-workload event streams and report divergences."""
+    a_inst, a_br, a_mem, a_uoc, _ = _partition(a_events)
+    b_inst, b_br, b_mem, b_uoc, _ = _partition(b_events)
+    anchors = _instruction_anchors(a_events)
+
+    divergences: List[Divergence] = []
+    counts: Dict[str, int] = {}
+
+    def add(kind: str, seq: int, pc: int, a: Any, b: Any,
+            instruction: Optional[int] = None) -> None:
+        counts[kind] = counts.get(kind, 0) + 1
+        divergences.append(Divergence(
+            kind=kind, seq=seq,
+            instruction=(anchors.get(seq, -1)
+                         if instruction is None else instruction),
+            pc=pc, a=a, b=b))
+
+    structural = False
+
+    # -- instruction lifecycle: stall attribution ------------------------
+    for a, b in zip(a_inst, b_inst):
+        if (a.index, a.pc, a.kind) != (b.index, b.pc, b.kind):
+            add("stream.structure", a.seq, a.pc,
+                (a.index, a.pc, a.kind), (b.index, b.pc, b.kind))
+            structural = True
+            break
+        if a.stall != b.stall:
+            add("inst.stall", a.seq, a.pc, a.stall, b.stall)
+    if not structural and len(a_inst) != len(b_inst):
+        tail_seq = a_inst[-1].seq if a_inst else 0
+        add("inst.length", tail_seq, 0, len(a_inst), len(b_inst))
+
+    # -- branches --------------------------------------------------------
+    if not structural:
+        for a, b in zip(a_br, b_br):
+            if (a.pc, a.actual_taken, a.actual_target) != \
+                    (b.pc, b.actual_taken, b.actual_target):
+                add("stream.structure", a.seq, a.pc,
+                    (a.pc, a.actual_taken), (b.pc, b.actual_taken))
+                structural = True
+                break
+            if a.mispredicted != b.mispredicted:
+                add("branch.mispredict", a.seq, a.pc,
+                    a.mispredicted, b.mispredicted)
+            if a.predicted_taken != b.predicted_taken:
+                add("branch.direction", a.seq, a.pc,
+                    a.predicted_taken, b.predicted_taken)
+            if a.predicted_target != b.predicted_target:
+                add("branch.target", a.seq, a.pc,
+                    a.predicted_target, b.predicted_target)
+            if a.unit != b.unit:
+                add("branch.unit", a.seq, a.pc, a.unit, b.unit)
+
+    # -- memory accesses -------------------------------------------------
+    if not structural:
+        for a, b in zip(a_mem, b_mem):
+            if (a.pc, a.addr, a.store) != (b.pc, b.addr, b.store):
+                add("stream.structure", a.seq, a.pc,
+                    (a.pc, a.addr, a.store), (b.pc, b.addr, b.store))
+                structural = True
+                break
+            if a.level != b.level:
+                add("mem.level", a.seq, a.pc, a.level, b.level)
+            if a.tlb_level != b.tlb_level:
+                add("mem.tlb", a.seq, a.pc, a.tlb_level, b.tlb_level)
+            if a.prefetch_touch != b.prefetch_touch:
+                add("mem.prefetch_touch", a.seq, a.pc,
+                    a.prefetch_touch, b.prefetch_touch)
+
+    # -- uop-cache mode machine ------------------------------------------
+    if not structural:
+        for a, b in zip(a_uoc, b_uoc):
+            if (a.from_mode, a.to_mode) != (b.from_mode, b.to_mode):
+                add("uoc.mode", a.seq, a.block_pc,
+                    f"{a.from_mode}->{a.to_mode}",
+                    f"{b.from_mode}->{b.to_mode}")
+        if len(a_uoc) != len(b_uoc):
+            extra = a_uoc[min(len(b_uoc), len(a_uoc) - 1)] if a_uoc \
+                else None
+            add("uoc.length",
+                extra.seq if extra is not None else 0,
+                extra.block_pc if extra is not None else 0,
+                len(a_uoc), len(b_uoc))
+
+    first: Optional[Divergence] = None
+    if divergences:
+        first = min(divergences,
+                    key=lambda d: (d.seq, _CLASS_RANK[d.kind]))
+
+    return TraceDiff(
+        a_label=a_label,
+        b_label=b_label,
+        workload=workload,
+        first=first,
+        counts=dict(sorted(counts.items())),
+        compared={
+            "inst": min(len(a_inst), len(b_inst)),
+            "branch": min(len(a_br), len(b_br)),
+            "mem": min(len(a_mem), len(b_mem)),
+            "uoc": min(len(a_uoc), len(b_uoc)),
+        },
+        a_events=len(a_events),
+        b_events=len(b_events),
+    )
+
+
+def render_tracediff(diff: TraceDiff) -> str:
+    """Human rendering of a :class:`TraceDiff` (pure, deterministic)."""
+    head = f"tracediff {diff.a_label} vs {diff.b_label}"
+    if diff.workload:
+        head += f" on {diff.workload}"
+    lines = [
+        head,
+        f"  events: {diff.a_label}={diff.a_events}  "
+        f"{diff.b_label}={diff.b_events}",
+        "  aligned: " + "  ".join(
+            f"{fam}={n}" for fam, n in diff.compared.items()),
+    ]
+    if diff.first is None:
+        lines.append("  no divergence: the streams agree on every "
+                     "compared field")
+        return "\n".join(lines)
+    f = diff.first
+    where = (f"instruction {f.instruction}" if f.instruction >= 0
+             else "stream tail")
+    lines.append(
+        f"  first divergence: {f.kind} at {where} "
+        f"(pc {f.pc:#x}, seq {f.seq}): "
+        f"{diff.a_label}={f.a!r}  {diff.b_label}={f.b!r}")
+    lines.append(f"  divergence classes ({diff.total_divergences} "
+                 f"total):")
+    width = max(len(k) for k in diff.counts)
+    for kind, count in diff.counts.items():
+        lines.append(f"    {kind:<{width}s}  {count}")
+    return "\n".join(lines)

@@ -110,10 +110,11 @@ def population_to_dict(population: "Any") -> Dict[str, Any]:
 
 
 def population_from_dict(data: Dict[str, Any]) -> "Any":
-    from .engine.results import RESULT_SCHEMA_VERSION, PopulationResult
+    from .engine.results import (READABLE_SCHEMAS, RESULT_SCHEMA_VERSION,
+                                 PopulationResult)
 
     schema = data.get("schema", 1)
-    if schema not in (1, RESULT_SCHEMA_VERSION):
+    if schema not in READABLE_SCHEMAS:
         raise ValueError(
             f"unsupported population schema {schema!r} "
             f"(this build reads <= {RESULT_SCHEMA_VERSION})")

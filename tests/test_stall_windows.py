@@ -1,0 +1,147 @@
+"""Tests for stall-bucket window aggregation (docs/metrics.md).
+
+Per-retire CPI-stack stall attribution now feeds three ``core.stall.*``
+counters unconditionally, the window recorder snapshots them, and the
+trace's per-event attribution reconciles with the counters exactly —
+one computation feeds both views.  Run records carry the extended
+windows under result schema 3; older archives still load.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.engine import execute_population
+from repro.engine.results import (READABLE_SCHEMAS, RESULT_SCHEMA_VERSION,
+                                  SliceMetrics)
+from repro.metrics import STALL_WINDOW_COUNTERS, WINDOW_COUNTERS
+from repro.observe import STALL_BUCKETS, InstEvent
+
+
+def _run(gen="M3", spec=("specint_like", 1, 6000), **kw):
+    return repro.run(spec, gen, **kw)
+
+
+def test_windows_snapshot_the_stall_counters():
+    r = _run()
+    assert r.windows
+    for counter in STALL_WINDOW_COUNTERS.values():
+        assert counter in WINDOW_COUNTERS
+        assert all(counter in w.values for w in r.windows)
+
+
+def test_window_stall_cycles_sum_to_whole_run_counters():
+    r = _run()
+    totals = {bucket: sum(w.stall_cycles[bucket] for w in r.windows)
+              for bucket in STALL_WINDOW_COUNTERS}
+    assert totals["mispredict"] == pytest.approx(
+        r.core.stall_mispredict_cycles)
+    assert totals["frontend_bubbles"] == pytest.approx(
+        r.core.stall_frontend_cycles)
+    assert totals["memory"] == pytest.approx(r.core.stall_memory_cycles)
+
+
+def test_trace_attribution_reconciles_with_counters_exactly():
+    r = _run(trace_to=True)
+    hist = {bucket: 0.0 for bucket in STALL_BUCKETS}
+    for e in r.events:
+        if isinstance(e, InstEvent):
+            hist[e.stall] += e.stall_cycles
+    assert hist["mispredict"] == r.core.stall_mispredict_cycles
+    assert hist["frontend_bubbles"] == r.core.stall_frontend_cycles
+    assert hist["memory"] == r.core.stall_memory_cycles
+    assert hist["base"] == 0.0  # base carries no attributed cycles
+
+
+def test_stall_cycles_and_fractions_are_well_formed():
+    r = _run()
+    for w in r.windows:
+        stalls = w.stall_cycles
+        assert set(stalls) == set(STALL_BUCKETS)
+        assert stalls["base"] >= 0.0  # residual is clamped
+        fractions = w.stall_fractions
+        assert set(fractions) == set(STALL_BUCKETS)
+        for bucket, frac in fractions.items():
+            assert frac >= 0.0
+        cycles = float(w.values["core.cycles"])
+        if cycles > 0:
+            for bucket in STALL_WINDOW_COUNTERS:
+                assert fractions[bucket] == \
+                    pytest.approx(stalls[bucket] / cycles)
+
+
+def test_empty_window_fractions_are_zero():
+    from repro.metrics import WindowSample
+    w = WindowSample(index=0, start_instruction=0, end_instruction=0,
+                     values={})
+    assert set(w.stall_fractions.values()) == {0.0}
+
+
+def test_stall_windows_serial_vs_workers_bit_identical():
+    kwargs = dict(n_slices=4, slice_length=3000, seed=7,
+                  generations=("M1", "M5"), cache="off",
+                  window_interval=1000)
+    serial, _ = execute_population(workers=1, **kwargs)
+    parallel, _ = execute_population(workers=2, **kwargs)
+    a = [m.to_dict() for m in serial.metrics]
+    b = [m.to_dict() for m in parallel.metrics]
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    # And the window payloads really include the stall counters.
+    assert any(
+        counter in w["values"]
+        for row in a for w in row["windows"]
+        for counter in STALL_WINDOW_COUNTERS.values())
+
+
+# ---------------------------------------------------------------------------
+# Schema versioning: v3 rows, older archives still load
+# ---------------------------------------------------------------------------
+
+def test_result_schema_is_three_and_back_reads_old_versions():
+    assert RESULT_SCHEMA_VERSION == 3
+    assert READABLE_SCHEMAS == (1, 2, 3)
+
+
+def test_slice_metrics_round_trips_at_current_schema():
+    r = _run(gen="M5", spec=("loop_kernel", 2, 3000))
+    row = SliceMetrics(trace_name=r.trace_name, family="loop_kernel",
+                       generation="M5", ipc=r.ipc, mpki=r.mpki,
+                       average_load_latency=r.average_load_latency,
+                       bubbles_per_branch=r.branch.bubbles_per_branch,
+                       windows=list(r.windows))
+    doc = row.to_dict()
+    assert doc["schema"] == RESULT_SCHEMA_VERSION
+    assert SliceMetrics.from_dict(doc) == row
+
+
+def test_schema_two_archive_rows_still_load():
+    doc = {
+        "schema": 2,
+        "trace_name": "specint_like-1", "family": "specint_like",
+        "generation": "M2", "ipc": 0.5, "mpki": 4.0,
+        "average_load_latency": 60.0, "bubbles_per_branch": 0.5,
+        "cpi_base": 1.0, "cpi_mispredict": 0.2, "cpi_frontend": 0.1,
+        "cpi_memory": 0.7,
+        "windows": [{"index": 0, "start_instruction": 0,
+                     "end_instruction": 2000,
+                     "values": {"core.instructions": 2000,
+                                "core.cycles": 4000}}],
+    }
+    row = SliceMetrics.from_dict(doc)
+    assert row.generation == "M2"
+    # v2 windows predate the stall counters: buckets read as zero and
+    # the whole window lands in the base residual.
+    assert row.windows[0].stall_cycles == {
+        "mispredict": 0.0, "frontend_bubbles": 0.0, "memory": 0.0,
+        "base": 4000.0}
+
+
+def test_future_schema_rows_are_rejected():
+    doc = {"schema": RESULT_SCHEMA_VERSION + 1, "trace_name": "t",
+           "family": "f", "generation": "M1", "ipc": 1.0, "mpki": 1.0,
+           "average_load_latency": 1.0, "bubbles_per_branch": 1.0}
+    with pytest.raises(ValueError):
+        SliceMetrics.from_dict(doc)

@@ -1,0 +1,255 @@
+"""Tests for chunked trace streaming (repro.observe.stream).
+
+The contracts under test (docs/observability.md):
+
+- chunks hold exactly ``chunk_events`` events and the manifest's event
+  counts / byte offsets agree with the files on disk;
+- a trace much longer than the flight-recorder ring round-trips
+  losslessly through a stream (manifest count == emitted, 0 dropped);
+- for a fixed seed the on-disk chunk bytes are identical whether the
+  events were produced serially or inside worker processes;
+- :func:`repro.observe.trace` and ``repro.run(..., trace_to=...)`` are
+  the public capture API over every target flavor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.config import get_generation
+from repro.core import GenerationSimulator
+from repro.engine import PopulationEngine, pipetrace_task
+from repro.observe import (InstEvent, MANIFEST_NAME, STREAM_SCHEMA_VERSION,
+                           StreamingTraceSink, TraceSink, events_to_jsonl,
+                           iter_stream_events, load_events, read_manifest,
+                           read_stream_events, stream_event_dicts, trace)
+from repro.traces.spec import TraceSpec
+from repro.traces.workloads import make_trace
+
+
+def _emit_n(sink, n):
+    for i in range(n):
+        sink.emit(InstEvent(seq=-1, cycle=float(i), index=i))
+
+
+# ---------------------------------------------------------------------------
+# StreamingTraceSink: chunk rollover + manifest integrity
+# ---------------------------------------------------------------------------
+
+def test_chunk_rollover_and_manifest_integrity(tmp_path):
+    d = tmp_path / "stream"
+    sink = StreamingTraceSink(d, chunk_events=8, meta={"gen": "M6"})
+    _emit_n(sink, 20)  # 8 + 8 + 4
+    manifest = sink.close()
+
+    files = sorted(p.name for p in d.iterdir())
+    assert files == [MANIFEST_NAME, "trace-000001.jsonl",
+                     "trace-000002.jsonl", "trace-000003.jsonl"]
+    assert manifest["schema"] == STREAM_SCHEMA_VERSION
+    assert manifest["events"] == sink.emitted == 20
+    assert manifest["dropped"] == 0
+    assert manifest["meta"] == {"gen": "M6"}
+    assert [c["events"] for c in manifest["chunks"]] == [8, 8, 4]
+    assert [c["first_seq"] for c in manifest["chunks"]] == [0, 8, 16]
+    assert [c["last_seq"] for c in manifest["chunks"]] == [7, 15, 19]
+    # Byte accounting: offsets are contiguous and sizes match the files.
+    offset = 0
+    for c in manifest["chunks"]:
+        assert c["offset"] == offset
+        assert (d / c["file"]).stat().st_size == c["bytes"]
+        offset += c["bytes"]
+    assert manifest["bytes"] == offset
+    # The on-disk manifest is the same document.
+    assert read_manifest(d) == manifest
+    # Read-back preserves order and count.
+    events = read_stream_events(d)
+    assert [e.seq for e in events] == list(range(20))
+
+
+def test_streaming_sink_close_is_idempotent_and_seals(tmp_path):
+    sink = StreamingTraceSink(tmp_path / "s", chunk_events=4)
+    _emit_n(sink, 5)
+    first = sink.close()
+    assert sink.close() == first
+    with pytest.raises(ValueError):
+        sink.emit(InstEvent(seq=-1, cycle=0.0, index=0))
+
+
+def test_streaming_sink_rejects_bad_chunk_size(tmp_path):
+    with pytest.raises(ValueError):
+        StreamingTraceSink(tmp_path / "s", chunk_events=0)
+
+
+def test_iter_stream_events_detects_chunk_truncation(tmp_path):
+    d = tmp_path / "s"
+    with StreamingTraceSink(d, chunk_events=4) as sink:
+        _emit_n(sink, 8)
+    chunk = d / "trace-000001.jsonl"
+    lines = chunk.read_text().splitlines()
+    chunk.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(ValueError, match="manifest says"):
+        list(iter_stream_events(d))
+
+
+def test_read_manifest_rejects_unknown_schema(tmp_path):
+    d = tmp_path / "s"
+    with StreamingTraceSink(d, chunk_events=4) as sink:
+        _emit_n(sink, 2)
+    doc = json.loads((d / MANIFEST_NAME).read_text())
+    doc["schema"] = STREAM_SCHEMA_VERSION + 1
+    (d / MANIFEST_NAME).write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="unsupported trace stream"):
+        read_manifest(d)
+
+
+# ---------------------------------------------------------------------------
+# Streams outlive the ring: lossless capture past TraceSink capacity
+# ---------------------------------------------------------------------------
+
+def test_trace_longer_than_ring_roundtrips_losslessly(tmp_path):
+    trace_obj = make_trace("specint_like", seed=3, n_instructions=6000)
+    config = get_generation("M4")
+
+    stream_dir = tmp_path / "full"
+    sink = StreamingTraceSink(stream_dir, chunk_events=1024)
+    GenerationSimulator(config, trace_sink=sink).run(
+        trace_obj, window_interval=0)
+    manifest = sink.close()
+
+    # A ring a tenth of the stream's size would have lost the start...
+    ring = TraceSink(capacity=max(1, sink.emitted // 10))
+    GenerationSimulator(config, trace_sink=ring).run(
+        trace_obj, window_interval=0)
+    assert ring.emitted == sink.emitted
+    assert ring.dropped > 0
+
+    # ...the stream lost nothing: manifest count == emitted, 0 dropped,
+    # and the read-back is the complete in-order sequence from seq 0.
+    assert manifest["events"] == sink.emitted
+    assert manifest["dropped"] == 0
+    assert sum(c["events"] for c in manifest["chunks"]) == sink.emitted
+    events = read_stream_events(stream_dir)
+    assert len(events) == sink.emitted
+    assert events[0].seq == 0
+    assert [e.seq for e in events] == list(range(sink.emitted))
+
+
+def test_sink_capacity_none_is_unbounded():
+    sink = TraceSink(capacity=None)
+    _emit_n(sink, 5000)
+    assert sink.capacity is None
+    assert sink.emitted == 5000
+    assert sink.dropped == 0
+    assert [e.seq for e in sink.events()] == list(range(5000))
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial vs worker-produced streams are byte-identical
+# ---------------------------------------------------------------------------
+
+def test_stream_serial_vs_workers_byte_identical(tmp_path):
+    payloads = [
+        pipetrace_task(get_generation(gen),
+                       TraceSpec("loop_kernel", 3, 3000),
+                       capacity=None)
+        for gen in ("M1", "M6")
+    ]
+    serial, _ = PopulationEngine(workers=1, cache="off").run_payloads(
+        payloads)
+    parallel, _ = PopulationEngine(workers=2, cache="off").run_payloads(
+        payloads)
+
+    def persist(rows, where):
+        for i, row in enumerate(rows):
+            assert row["dropped"] == 0
+            with StreamingTraceSink(where / str(i),
+                                    chunk_events=512) as sink:
+                stream_event_dicts(sink, row["events"])
+
+    persist(serial, tmp_path / "serial")
+    persist(parallel, tmp_path / "parallel")
+    for i in range(len(payloads)):
+        a_dir = tmp_path / "serial" / str(i)
+        b_dir = tmp_path / "parallel" / str(i)
+        a_files = sorted(p.name for p in a_dir.iterdir())
+        assert a_files == sorted(p.name for p in b_dir.iterdir())
+        for name in a_files:
+            assert (a_dir / name).read_bytes() == \
+                (b_dir / name).read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# The public capture API: trace() and run(trace_to=...)
+# ---------------------------------------------------------------------------
+
+def test_trace_none_yields_unbounded_memory_sink():
+    with trace() as sink:
+        assert isinstance(sink, TraceSink)
+        assert sink.capacity is None
+
+
+def test_trace_jsonl_path_writes_flat_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with trace(path) as sink:
+        _emit_n(sink, 3)
+    assert path.read_text() == events_to_jsonl(sink.events()) + "\n"
+    assert [e.seq for e in load_events(path)] == [0, 1, 2]
+
+
+def test_trace_directory_streams_and_closes(tmp_path):
+    d = tmp_path / "stream"
+    with trace(d, chunk_events=2, meta={"k": "v"}) as sink:
+        assert isinstance(sink, StreamingTraceSink)
+        _emit_n(sink, 5)
+    assert sink.closed
+    manifest = read_manifest(d)
+    assert manifest["events"] == 5
+    assert manifest["meta"] == {"k": "v"}
+    assert len(load_events(d)) == 5
+
+
+def test_trace_existing_sinks_pass_through(tmp_path):
+    ring = TraceSink(capacity=16)
+    with trace(ring) as sink:
+        assert sink is ring
+    streaming = StreamingTraceSink(tmp_path / "s", chunk_events=4)
+    with trace(streaming) as sink:
+        assert sink is streaming
+        _emit_n(sink, 3)
+    assert streaming.closed  # trace() guarantees the manifest write
+
+
+def test_run_trace_to_directory_persists_stream(tmp_path):
+    d = tmp_path / "run_stream"
+    r = repro.run(("specint_like", 1, 2000), "M6", trace_to=d)
+    manifest = read_manifest(d)
+    assert manifest["events"] > 0
+    assert manifest["dropped"] == 0
+    assert manifest["meta"]["generation"] == "M6"
+    assert manifest["meta"]["trace"] == r.trace_name
+    events = load_events(d)
+    assert len(events) == manifest["events"]
+
+
+def test_run_trace_to_true_captures_in_memory():
+    r = repro.run(("specint_like", 1, 2000), "M6", trace_to=True)
+    assert len(r.events) > 0
+    assert r.events[0].seq == 0
+
+
+def test_run_trace_to_none_keeps_tracing_off():
+    r = repro.run(("specint_like", 1, 2000), "M6")
+    assert len(r.events) == 0
+
+
+def test_run_trace_to_never_changes_timing(tmp_path):
+    base = repro.run(("loop_kernel", 2, 2500), "M5")
+    traced = repro.run(("loop_kernel", 2, 2500), "M5",
+                       trace_to=tmp_path / "s")
+    assert traced.ipc == base.ipc
+    assert traced.core.cycles == base.core.cycles
+    assert traced.mpki == base.mpki
