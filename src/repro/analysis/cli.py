@@ -44,6 +44,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated rule ids to run exclusively")
     parser.add_argument("--ignore", default=None, metavar="RULES",
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite the mechanical findings in place "
+                             "(SIM005/SIM009/SIM010/SIM011)")
+    parser.add_argument("--diff", action="store_true",
+                        help="with --fix: print the unified diff, write "
+                             "nothing")
+    parser.add_argument("--check", action="store_true",
+                        help="with --fix: write nothing, exit 1 if any "
+                             "fix would apply (CI guard)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
 
@@ -58,6 +67,24 @@ def _default_paths() -> List[str]:
     return ["src"] if Path("src").is_dir() else ["."]
 
 
+def _run_fix_command(args: argparse.Namespace, paths: List[str],
+                     config) -> int:
+    from .fixes import render_diff, render_fix_summary, run_fix
+
+    write = not (args.diff or args.check)
+    result = run_fix(paths, config=config, select=_split(args.select),
+                     ignore=_split(args.ignore), write=write)
+    if args.diff:
+        diff = render_diff(result)
+        if diff:
+            print(diff, end="")
+    else:
+        print(render_fix_summary(result, applied=write))
+    if args.check:
+        return 1 if result.fixes else 0
+    return 0
+
+
 def run_lint_command(args: argparse.Namespace) -> int:
     """Execute the lint subcommand against parsed arguments."""
     if args.list_rules:
@@ -65,9 +92,14 @@ def run_lint_command(args: argparse.Namespace) -> int:
             print(f"{rule.id}  {rule.name:28s} [{rule.severity}] "
                   f"{rule.description}")
         return 0
+    if (args.diff or args.check) and not args.fix:
+        print("simlint: --diff/--check require --fix", file=sys.stderr)
+        return 2
 
     paths = args.paths or _default_paths()
     config = load_config(Path(paths[0]))
+    if args.fix:
+        return _run_fix_command(args, paths, config)
     baseline_path = Path(args.baseline) if args.baseline else None
     result = run_lint(
         paths,

@@ -41,6 +41,14 @@ class LintConfig:
     #: flagged (SIM010) — ``math.fsum`` is exact and order-independent.
     fsum_paths: Tuple[str, ...] = ("src/repro/harness",
                                    "src/repro/engine")
+    #: Worker-process entry point for SIM012 reachability (the function
+    #: ``ProcessPoolExecutor`` workers execute); dotted qualname.
+    worker_entry: str = "repro.engine.tasks.execute_task"
+    #: Fully-qualified module globals SIM012 sanctions — deliberately
+    #: fork-local per-process state whose contents never reach results
+    #: (the engine's per-worker trace memo is the seed entry).
+    worker_state_allow: Tuple[str, ...] = (
+        "repro.engine.tasks._TRACE_MEMO",)
     #: Rule ids disabled globally.
     disable: Tuple[str, ...] = ()
     #: Directory containing pyproject.toml (None when none was found).
@@ -102,6 +110,10 @@ def load_config(start: Path) -> LintConfig:
         section.get("strict_except_paths"), config.strict_except_paths)
     config.fsum_paths = _as_tuple(
         section.get("fsum_paths"), config.fsum_paths)
+    config.worker_entry = str(
+        section.get("worker_entry", config.worker_entry))
+    config.worker_state_allow = _as_tuple(
+        section.get("worker_state_allow"), config.worker_state_allow)
     config.disable = tuple(
         r.upper() for r in _as_tuple(section.get("disable"), config.disable))
     return config

@@ -1,0 +1,548 @@
+"""The simlint autofix engine: precise span rewrites for mechanical rules.
+
+Four of the shipped rules flag hazards whose remedy is purely
+mechanical, and for those the fix *is* the finding:
+
+======  =======================  =====================================
+rule    finding                  rewrite
+======  =======================  =====================================
+SIM005  mutable default arg      default -> ``None`` + an ``if x is
+                                 None: x = <default>`` guard at the
+                                 top of the body
+SIM009  bare container           annotation parameterized from the
+        annotation               assigned literal (``x: list = [1]``
+                                 -> ``x: list[int] = [1]``)
+SIM010  ``sum()`` over floats    ``math.fsum(...)`` (adding ``import
+                                 math`` when missing)
+SIM011  bare ``.popitem()``      ``.popitem(last=True)`` (the end the
+                                 bare call already pops, now named)
+======  =======================  =====================================
+
+Fixes are *span edits* against the original source — ``(start, end,
+replacement)`` in (line, byte-col) coordinates straight off the AST —
+applied bottom-up so earlier edits never shift later spans.  The engine
+re-parses every rewritten file before writing and refuses any file the
+rewrite broke, drops overlapping edits rather than guessing, and is
+idempotent by construction: a fixed file produces zero further fixes,
+and fixing twice is byte-identical (``tests/test_simlint_fixes.py``
+pins both properties).
+
+Findings the fixers cannot prove safe stay findings: a lambda's mutable
+default (nowhere to put the guard), an annotation whose assigned value
+is empty or heterogeneous, a two-argument ``sum(xs, 0.0)`` (``fsum``
+takes no start).  ``python -m repro lint --fix`` applies, ``--fix
+--diff`` previews, ``--fix --check`` is the CI guard that fails the
+build while fixable findings exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .config import LintConfig, load_config
+from .core import ASTRule, FileContext, _relpath, iter_python_files
+
+#: Rules the engine can rewrite (the JSON report's ``fixable`` flag).
+FIXABLE_RULES = frozenset({"SIM005", "SIM009", "SIM010", "SIM011"})
+
+#: Constant value types the SIM009 fixer will name in a subscript.
+_CONST_TYPE_NAMES = {bool: "bool", int: "int", float: "float",
+                     complex: "complex", str: "str", bytes: "bytes"}
+
+
+@dataclass(frozen=True)
+class TextEdit:
+    """One replacement of a source span; zero-width spans insert."""
+
+    start: Tuple[int, int]  # (lineno 1-based, byte col 0-based)
+    end: Tuple[int, int]
+    replacement: str
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One finding's mechanical rewrite (possibly several edits)."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    edits: Tuple[TextEdit, ...]
+
+
+@dataclass
+class FileFixResult:
+    """Everything fixing one file produced."""
+
+    path: str
+    fixes: List[Fix] = field(default_factory=list)
+    original_source: str = ""
+    new_source: Optional[str] = None  # None: nothing to change
+    notes: List[str] = field(default_factory=list)
+
+    def diff(self) -> str:
+        """Unified diff of this file's rewrite (empty when unchanged)."""
+        if self.new_source is None:
+            return ""
+        return "".join(difflib.unified_diff(
+            self.original_source.splitlines(keepends=True),
+            self.new_source.splitlines(keepends=True),
+            fromfile=f"a/{self.path}", tofile=f"b/{self.path}"))
+
+
+@dataclass
+class FixResult:
+    """Everything one ``--fix`` invocation produced."""
+
+    files_scanned: int = 0
+    files: List[FileFixResult] = field(default_factory=list)
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def fixes(self) -> List[Fix]:
+        return [f for fr in self.files for f in fr.fixes]
+
+    @property
+    def changed(self) -> List[FileFixResult]:
+        return [fr for fr in self.files if fr.new_source is not None]
+
+    @property
+    def notes(self) -> List[str]:
+        return [n for fr in self.files for n in fr.notes]
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.fixes:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+# ---------------------------------------------------------------------------
+# Span plumbing
+# ---------------------------------------------------------------------------
+
+def _node_span(node: ast.AST) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    return ((node.lineno, node.col_offset),
+            (node.end_lineno, node.end_col_offset))
+
+
+def _char_col(line_text: str, byte_col: int) -> int:
+    """AST column offsets count utf-8 bytes; translate to characters."""
+    raw = line_text.encode("utf-8")[:byte_col]
+    return len(raw.decode("utf-8", errors="ignore"))
+
+
+def _span_text(ctx: FileContext, node: ast.AST) -> str:
+    """The exact source text of one node (may span lines)."""
+    (l1, c1), (l2, c2) = _node_span(node)
+    if l1 == l2:
+        line = ctx.line_text(l1)
+        return line[_char_col(line, c1):_char_col(line, c2)]
+    first = ctx.line_text(l1)
+    parts = [first[_char_col(first, c1):]]
+    parts.extend(ctx.line_text(i) for i in range(l1 + 1, l2))
+    last = ctx.line_text(l2)
+    parts.append(last[:_char_col(last, c2)])
+    return "\n".join(parts)
+
+
+def apply_edits(source: str, edits: Sequence[TextEdit]) -> str:
+    """Apply non-overlapping edits; later spans first, so positions in
+    the original coordinate system stay valid throughout."""
+    lines = source.splitlines(keepends=True)
+    # Absolute character offset of each line start.
+    starts: List[int] = [0]
+    for line in lines:
+        starts.append(starts[-1] + len(line))
+
+    def offset(pos: Tuple[int, int]) -> int:
+        lineno, byte_col = pos
+        if lineno - 1 >= len(lines):
+            return len(source)
+        text = lines[lineno - 1].rstrip("\n")
+        return starts[lineno - 1] + _char_col(text, byte_col)
+
+    # Stable order: by start offset, insertion order breaking ties —
+    # then applied in reverse so two insertions at one anchor land in
+    # their creation order.
+    indexed = sorted(enumerate(edits),
+                     key=lambda pair: (offset(pair[1].start), pair[0]))
+    out = source
+    for _, edit in reversed(indexed):
+        a, b = offset(edit.start), offset(edit.end)
+        out = out[:a] + edit.replacement + out[b:]
+    return out
+
+
+def _edits_overlap(edits: Sequence[TextEdit], source: str) -> bool:
+    lines = source.splitlines(keepends=True)
+    starts = [0]
+    for line in lines:
+        starts.append(starts[-1] + len(line))
+
+    def offset(pos: Tuple[int, int]) -> int:
+        lineno, byte_col = pos
+        text = lines[lineno - 1].rstrip("\n") if lineno - 1 < len(lines) \
+            else ""
+        base = starts[lineno - 1] if lineno - 1 < len(starts) else starts[-1]
+        return base + _char_col(text, byte_col)
+
+    spans = sorted((offset(e.start), offset(e.end)) for e in edits)
+    for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+        if a2 < b1:  # zero-width insertions at b1 are legal
+            return True
+    return False
+
+
+def _find_node(ctx: FileContext, line: int, col: int,
+               kinds: Tuple[type, ...]) -> Optional[ast.AST]:
+    """The AST node of one of ``kinds`` anchored exactly at a finding."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, kinds) and \
+                getattr(node, "lineno", None) == line and \
+                getattr(node, "col_offset", None) == col:
+            return node
+    return None
+
+
+def _rule_findings(rule: ASTRule, ctx: FileContext,
+                   config: LintConfig) -> Iterator:
+    for f in rule.check(ctx, config):
+        if not ctx.is_suppressed(f):
+            yield f
+
+
+# ---------------------------------------------------------------------------
+# SIM005: mutable default -> None sentinel + guard
+# ---------------------------------------------------------------------------
+
+def _default_arg_names(func: ast.AST) -> Dict[int, str]:
+    """Map ``id(default node)`` -> the parameter it belongs to."""
+    args = func.args
+    out: Dict[int, str] = {}
+    positional = [*args.posonlyargs, *args.args]
+    for arg, default in zip(positional[len(positional)
+                                       - len(args.defaults):],
+                            args.defaults):
+        out[id(default)] = arg.arg
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            out[id(default)] = arg.arg
+    return out
+
+
+def _guard_anchor(ctx: FileContext,
+                  func: ast.AST) -> Optional[Tuple[int, int]]:
+    """(line, indent) where a ``None`` guard can be inserted, if any."""
+    body = list(func.body)
+    anchor = body[0]
+    if isinstance(anchor, ast.Expr) and \
+            isinstance(anchor.value, ast.Constant) and \
+            isinstance(anchor.value.value, str):
+        if len(body) == 1:  # docstring-only body: append after it
+            return anchor.end_lineno + 1, anchor.col_offset
+        anchor = body[1]
+    line, indent = anchor.lineno, anchor.col_offset
+    text = ctx.line_text(line)
+    if text[:_char_col(text, indent)].strip():
+        return None  # single-line body (``def f(x=[]): return x``)
+    return line, indent
+
+
+def _fix_sim005(ctx: FileContext, config: LintConfig,
+                rule: ASTRule) -> Iterator[Fix]:
+    for finding in _rule_findings(rule, ctx, config):
+        default = _find_node(
+            ctx, finding.line, finding.col,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp,
+             ast.DictComp, ast.Call))
+        if default is None:
+            continue
+        owner = None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                names = _default_arg_names(node)
+                if id(default) in names:
+                    owner, arg_name = node, names[id(default)]
+                    break
+        if owner is None or isinstance(owner, ast.Lambda):
+            continue  # a lambda has no body to guard in
+        anchor = _guard_anchor(ctx, owner)
+        if anchor is None:
+            continue
+        line, indent = anchor
+        pad = " " * indent
+        guard = (f"{pad}if {arg_name} is None:\n"
+                 f"{pad}    {arg_name} = {ast.unparse(default)}\n")
+        start, end = _node_span(default)
+        yield Fix(
+            rule=finding.rule, path=ctx.relpath, line=finding.line,
+            col=finding.col,
+            message=f"default `{arg_name}={ast.unparse(default)}` -> "
+                    f"None sentinel + allocation guard",
+            edits=(TextEdit(start, end, "None"),
+                   TextEdit((line, 0), (line, 0), guard)))
+
+
+# ---------------------------------------------------------------------------
+# SIM009: parameterize a bare annotation from the assigned literal
+# ---------------------------------------------------------------------------
+
+def _const_type(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant):
+        return _CONST_TYPE_NAMES.get(type(node.value))
+    return None
+
+
+def _joined_type(nodes: Sequence[ast.AST]) -> Optional[str]:
+    """One type name covering all ``nodes``, or None."""
+    names = {_const_type(n) for n in nodes}
+    if len(names) == 1 and None not in names:
+        return names.pop()
+    return None
+
+
+def _infer_params(value: ast.AST) -> Optional[str]:
+    """Subscript text inferred from an assigned literal, or None."""
+    if isinstance(value, (ast.List, ast.Set)) and value.elts:
+        return _joined_type(value.elts)
+    if isinstance(value, ast.Tuple) and value.elts:
+        names = [_const_type(el) for el in value.elts]
+        if all(names):
+            return ", ".join(names)  # type: ignore[arg-type]
+        return None
+    if isinstance(value, ast.Dict) and value.keys:
+        if any(k is None for k in value.keys):  # dict unpacking
+            return None
+        kt = _joined_type([k for k in value.keys if k is not None])
+        vt = _joined_type(value.values)
+        if kt and vt:
+            return f"{kt}, {vt}"
+    return None
+
+
+def _fix_sim009(ctx: FileContext, config: LintConfig,
+                rule: ASTRule) -> Iterator[Fix]:
+    flagged = {(f.line, f.col) for f in _rule_findings(rule, ctx, config)}
+    if not flagged:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.AnnAssign) or node.value is None:
+            continue
+        ann = node.annotation
+        # Only the simple shape: the bare container IS the annotation.
+        if not isinstance(ann, (ast.Name, ast.Attribute)):
+            continue
+        if (ann.lineno, ann.col_offset) not in flagged:
+            continue
+        params = _infer_params(node.value)
+        if params is None:
+            continue
+        ann_text = _span_text(ctx, ann)
+        start, end = _node_span(ann)
+        yield Fix(
+            rule="SIM009", path=ctx.relpath, line=ann.lineno,
+            col=ann.col_offset,
+            message=f"`{ann_text}` -> `{ann_text}[{params}]` (inferred "
+                    "from the assigned literal)",
+            edits=(TextEdit(start, end, f"{ann_text}[{params}]"),))
+
+
+# ---------------------------------------------------------------------------
+# SIM010: sum() -> math.fsum
+# ---------------------------------------------------------------------------
+
+def _fsum_spelling(ctx: FileContext) -> Optional[str]:
+    """How this file already spells math.fsum, if it can."""
+    for alias, target in ctx.imports.items():
+        if target == "math.fsum":
+            return alias
+    for alias, target in ctx.imports.items():
+        if target == "math":
+            return f"{alias}.fsum"
+    return None
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """Line to insert ``import math`` at (after existing imports)."""
+    line = 1
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            line = node.end_lineno + 1
+        elif isinstance(node, ast.Expr) and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str) and line == 1:
+            line = node.end_lineno + 1  # module docstring
+        else:
+            break
+    return line
+
+
+def _fix_sim010(ctx: FileContext, config: LintConfig,
+                rule: ASTRule) -> Iterator[Fix]:
+    spelling = _fsum_spelling(ctx)
+    need_import = spelling is None
+    import_emitted = False
+    for finding in _rule_findings(rule, ctx, config):
+        call = _find_node(ctx, finding.line, finding.col, (ast.Call,))
+        if call is None or len(call.args) != 1 or call.keywords:
+            continue  # fsum takes exactly one iterable, no start value
+        func = call.func
+        if not isinstance(func, ast.Name):  # rule only flags bare sum()
+            continue
+        name = spelling or "math.fsum"
+        edits = [TextEdit(*_node_span(func), replacement=name)]
+        if need_import and not import_emitted:
+            at = _import_insert_line(ctx.tree)
+            edits.append(TextEdit((at, 0), (at, 0), "import math\n"))
+            import_emitted = True
+        yield Fix(
+            rule=finding.rule, path=ctx.relpath, line=finding.line,
+            col=finding.col,
+            message=f"sum() -> {name}() (exact, order-independent)",
+            edits=tuple(edits))
+
+
+# ---------------------------------------------------------------------------
+# SIM011: bare .popitem() -> .popitem(last=True)
+# ---------------------------------------------------------------------------
+
+def _fix_sim011(ctx: FileContext, config: LintConfig,
+                rule: ASTRule) -> Iterator[Fix]:
+    for finding in _rule_findings(rule, ctx, config):
+        call = _find_node(ctx, finding.line, finding.col, (ast.Call,))
+        if call is None:
+            continue
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and
+                func.attr == "popitem" and
+                not call.args and not call.keywords):
+            continue  # the next(iter(...)) findings have no spelled fix
+        start = (func.end_lineno, func.end_col_offset)
+        end = (call.end_lineno, call.end_col_offset)
+        yield Fix(
+            rule=finding.rule, path=ctx.relpath, line=finding.line,
+            col=finding.col,
+            message=".popitem() -> .popitem(last=True) (same end, "
+                    "now named)",
+            edits=(TextEdit(start, end, "(last=True)"),))
+
+
+_FIXERS = {
+    "SIM005": _fix_sim005,
+    "SIM009": _fix_sim009,
+    "SIM010": _fix_sim010,
+    "SIM011": _fix_sim011,
+}
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+def compute_file_fixes(ctx: FileContext, config: LintConfig,
+                       rule_ids: Iterable[str]) -> List[Fix]:
+    """Every fix the active fixable rules produce for one file."""
+    from .registry import get_rule
+
+    fixes: List[Fix] = []
+    for rule_id in sorted(set(rule_ids) & FIXABLE_RULES):
+        rule = get_rule(rule_id)
+        fixes.extend(_FIXERS[rule_id](ctx, config, rule))
+    return sorted(fixes, key=lambda f: (f.line, f.col, f.rule))
+
+
+def fix_file(ctx: FileContext, config: LintConfig,
+             rule_ids: Iterable[str]) -> FileFixResult:
+    """Compute and apply fixes for one parsed file (no disk writes)."""
+    result = FileFixResult(path=ctx.relpath, original_source=ctx.source)
+    fixes = compute_file_fixes(ctx, config, rule_ids)
+    if not fixes:
+        return result
+    edits = [e for f in fixes for e in f.edits]
+    if _edits_overlap(edits, ctx.source):
+        result.notes.append(
+            f"{ctx.relpath}: overlapping fixes; apply and re-run")
+        return result
+    new_source = apply_edits(ctx.source, edits)
+    try:
+        ast.parse(new_source)
+    except SyntaxError as exc:
+        result.notes.append(
+            f"{ctx.relpath}: rewrite did not parse ({exc}); skipped")
+        return result
+    result.fixes = fixes
+    result.new_source = new_source
+    return result
+
+
+def run_fix(paths: Sequence, *,
+            config: Optional[LintConfig] = None,
+            select: Optional[Sequence[str]] = None,
+            ignore: Optional[Sequence[str]] = None,
+            write: bool = True) -> FixResult:
+    """Fix ``paths`` in place (or dry-run with ``write=False``).
+
+    Rule selection mirrors :func:`repro.analysis.core.run_lint`:
+    ``select``/``ignore`` and the config ``disable`` list scope which of
+    the fixable rules run.  Returns a :class:`FixResult`; when ``write``
+    is true every changed file has been rewritten atomically-enough
+    (full text replace) and re-verified to parse.
+    """
+    paths = [Path(p) for p in paths]
+    if config is None:
+        config = load_config(paths[0] if paths else Path.cwd())
+    active = set(FIXABLE_RULES)
+    if select:
+        active &= {r.upper() for r in select}
+    active -= {r.upper() for r in config.disable}
+    if ignore:
+        active -= {r.upper() for r in ignore}
+
+    result = FixResult()
+    for path in iter_python_files(paths, config.exclude):
+        rel = _relpath(path, config.project_root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext(path, rel, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.parse_errors.append(f"{rel}: {exc}")
+            continue
+        result.files_scanned += 1
+        fr = fix_file(ctx, config, active)
+        if fr.fixes or fr.notes:
+            result.files.append(fr)
+        if write and fr.new_source is not None:
+            path.write_text(fr.new_source, encoding="utf-8")
+    return result
+
+
+def render_diff(result: FixResult) -> str:
+    """Unified diff over every file the fixes would change."""
+    return "".join(fr.diff() for fr in result.changed)
+
+
+def render_fix_summary(result: FixResult, *, applied: bool) -> str:
+    """Terminal summary for ``--fix`` / ``--fix --check`` output."""
+    lines: List[str] = []
+    for fix in sorted(result.fixes,
+                      key=lambda f: (f.path, f.line, f.col, f.rule)):
+        lines.append(f"{fix.path}:{fix.line}:{fix.col}: {fix.rule} "
+                     f"{fix.message}")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    for err in result.parse_errors:
+        lines.append(f"parse error: {err}")
+    verb = "applied" if applied else "available"
+    by_rule = ", ".join(f"{r}: {n}"
+                        for r, n in result.counts_by_rule().items())
+    lines.append(f"simlint --fix: {len(result.fixes)} fixes {verb} "
+                 f"across {len(result.changed)} files"
+                 + (f" ({by_rule})" if by_rule else ""))
+    return "\n".join(lines)

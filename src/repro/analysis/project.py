@@ -1,4 +1,16 @@
-"""SIM006: cache-key completeness for the engine's result cache.
+"""Project rules: SIM006 cache-key completeness, SIM012 worker purity.
+
+SIM006 checks the engine's result cache key semantically (see below).
+SIM012 checks the *worker-purity* contract: no function that runs
+inside a ``ProcessPoolExecutor`` worker may mutate module-global
+mutable state, because each worker forks that state and then silently
+diverges from its siblings and from the serial run — defeating the
+engine's bit-identical guarantee in the one place per-file rules cannot
+see.  It is powered by the project-wide call graph in
+:mod:`repro.analysis.graph` and the ``worker_entry`` /
+``worker_state_allow`` settings in ``[tool.simlint]``.
+
+SIM006: cache-key completeness for the engine's result cache.
 
 The disk cache (:mod:`repro.engine.cache`) is invalidated purely by key:
 a result is reused whenever its task fingerprint matches, so any
@@ -25,11 +37,15 @@ the engine/config modules themselves.
 
 from __future__ import annotations
 
+import ast
 import dataclasses
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from .config import LintConfig
 from .core import FileContext, Finding, ProjectRule
+from .graph import (MUTATOR_METHODS, ModuleInfo, MutableGlobal,
+                    ProjectGraph, build_graph)
 
 #: File suffixes whose presence in the scan scope activates the rule.
 _TRIGGER_SUFFIXES = (
@@ -186,4 +202,179 @@ class CacheKeyCompletenessRule(ProjectRule):
                     "repro.serialization._NESTED_TYPES")
 
 
-PROJECT_RULES = (CacheKeyCompletenessRule(),)
+def _bound_names(target: ast.expr) -> Iterator[str]:
+    """Names a binding target actually binds: plain names and
+    destructuring tuples/lists/stars — *not* the root of a subscript or
+    attribute target (``MEMO[k] = v`` binds nothing; it mutates)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            yield from _bound_names(el)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+class WorkerPurityRule(ProjectRule):
+    """SIM012: no module-global mutable state in worker-reachable code.
+
+    Walks every function the project call graph proves reachable from
+    ``config.worker_entry`` (default
+    ``repro.engine.tasks.execute_task``, the ``ProcessPoolExecutor``
+    worker entry point) and flags:
+
+    * mutation of a module-level mutable container — subscript writes
+      (``MEMO[k] = v``, ``del MEMO[k]``, ``MEMO[k] += v``) and mutator
+      method calls (``.append``/``.update``/``.popitem``/
+      ``.move_to_end``/...), including globals imported from another
+      module (``from .tasks import _TRACE_MEMO``);
+    * ``global NAME`` statements (rebinding module state from inside a
+      worker is the same hazard in rebinding clothes);
+    * attribute assignment on an imported module object
+      (``tasks.LIMIT = 4`` monkey-patching).
+
+    Sanctioned per-process state — deliberately fork-local memos whose
+    contents never leak into results, like the engine's trace memo — is
+    allowlisted by fully-qualified name via ``worker_state_allow`` in
+    ``[tool.simlint]``.  Every finding carries the shortest call chain
+    from the entry point as its witness.
+    """
+
+    id = "SIM012"
+    name = "worker-purity"
+    severity = "error"
+    description = ("module-global mutable state mutated in code "
+                   "reachable from the worker entry point")
+
+    def check_project(self, ctxs: Sequence[FileContext],
+                      config: LintConfig) -> Iterable[Finding]:
+        graph = build_graph(ctxs)
+        chains = graph.reachable(config.worker_entry)
+        if not chains:
+            return
+        allow = set(config.worker_state_allow)
+        for qualname in sorted(chains):
+            fi = graph.functions.get(qualname)
+            mod = graph.function_module(qualname)
+            if fi is None or mod is None:
+                continue
+            yield from self._scan_function(graph, mod, fi.node,
+                                           chains[qualname], allow)
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _chain_text(chain: Tuple[str, ...]) -> str:
+        return " -> ".join(qn.rsplit(".", 1)[-1] for qn in chain)
+
+    @staticmethod
+    def _local_names(func: ast.AST) -> Set[str]:
+        """Names bound locally (params + assignments) minus globals."""
+        declared_global: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        local: Set[str] = set()
+        args = func.args
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                  args.vararg, args.kwarg):
+            if a is not None:
+                local.add(a.arg)
+        for node in ast.walk(func):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, (ast.withitem,)):
+                if node.optional_vars is not None:
+                    targets = [node.optional_vars]
+            elif isinstance(node, ast.comprehension):
+                targets = [node.target]
+            for t in targets:
+                local.update(_bound_names(t))
+        return local - declared_global
+
+    @staticmethod
+    def _global_for(graph: ProjectGraph, mod: ModuleInfo, name: str,
+                    local_names: Set[str]) -> Optional[MutableGlobal]:
+        """The mutable global ``name`` refers to in this scope, if any."""
+        if name in local_names:
+            return None
+        target = mod.imports.get(name, f"{mod.name}.{name}")
+        return graph.mutable_globals.get(target)
+
+    def _scan_function(self, graph: ProjectGraph, mod: ModuleInfo,
+                       func: ast.AST, chain: Tuple[str, ...],
+                       allow: Set[str]) -> Iterator[Finding]:
+        ctx = mod.ctx
+        local_names = self._local_names(func)
+        via = self._chain_text(chain)
+
+        def root_global(expr: ast.AST) -> Optional[MutableGlobal]:
+            if isinstance(expr, ast.Name):
+                return self._global_for(graph, mod, expr.id, local_names)
+            return None
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    qn = mod.imports.get(name, f"{mod.name}.{name}")
+                    if qn in allow:
+                        continue
+                    yield self.finding(
+                        ctx, node,
+                        f"`global {name}` inside worker-reachable code "
+                        f"(via {via}) rebinds per-process module state; "
+                        "thread state explicitly or allowlist it in "
+                        "worker_state_allow")
+                continue
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for t in targets:
+                if isinstance(t, ast.Subscript):
+                    g = root_global(t.value)
+                    if g is not None and g.qualname not in allow:
+                        yield self.finding(
+                            ctx, node,
+                            f"writes `{g.qualname}` ({g.kind}, module "
+                            f"global) inside worker-reachable code (via "
+                            f"{via}); workers fork then diverge this "
+                            "state — pass it explicitly or allowlist "
+                            "the sanctioned memo in worker_state_allow")
+                elif isinstance(t, ast.Attribute) and \
+                        isinstance(t.value, ast.Name) and \
+                        t.value.id not in local_names:
+                    owner = mod.imports.get(t.value.id)
+                    if owner is not None and owner in graph.modules:
+                        qn = f"{owner}.{t.attr}"
+                        if qn not in allow:
+                            yield self.finding(
+                                ctx, node,
+                                f"assigns attribute `{qn}` on module "
+                                f"`{owner}` inside worker-reachable code "
+                                f"(via {via}); monkey-patching module "
+                                "state is fork-divergent")
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in MUTATOR_METHODS:
+                g = root_global(node.func.value)
+                if g is not None and g.qualname not in allow:
+                    yield self.finding(
+                        ctx, node,
+                        f".{node.func.attr}() mutates `{g.qualname}` "
+                        f"({g.kind}, module global) inside worker-"
+                        f"reachable code (via {via}); workers fork then "
+                        "diverge this state — pass it explicitly or "
+                        "allowlist the sanctioned memo in "
+                        "worker_state_allow")
+
+
+PROJECT_RULES = (CacheKeyCompletenessRule(), WorkerPurityRule())

@@ -10,8 +10,11 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from .core import Finding, LintResult
+from .fixes import FIXABLE_RULES
 
-JSON_SCHEMA_VERSION = 1
+#: v1: the original document; v2: findings carry ``fixable`` (the rule
+#: has an autofix — run ``--fix``) and the summary counts them.
+JSON_SCHEMA_VERSION = 2
 
 
 def finding_to_dict(finding: Finding) -> Dict[str, Any]:
@@ -25,6 +28,7 @@ def finding_to_dict(finding: Finding) -> Dict[str, Any]:
         "snippet": finding.snippet,
         "key": finding.key,
         "baselined": finding.baselined,
+        "fixable": finding.rule in FIXABLE_RULES,
     }
 
 
@@ -39,6 +43,8 @@ def render_json(result: LintResult) -> Dict[str, Any]:
             "new": len(result.new_findings),
             "baselined": result.baselined_count,
             "suppressed": result.suppressed,
+            "fixable": sum(1 for f in result.new_findings
+                           if f.rule in FIXABLE_RULES),
             "parse_errors": len(result.parse_errors),
             "rules_run": list(result.rules_run),
             "ok": result.ok,
@@ -62,10 +68,14 @@ def render_human(result: LintResult) -> str:
     for err in result.parse_errors:
         lines.append(f"parse error: {err}")
     new = len(result.new_findings)
+    fixable = sum(1 for f in result.new_findings
+                  if f.rule in FIXABLE_RULES)
     summary = (f"simlint: {result.files_scanned} files, "
                f"{len(result.findings)} findings "
                f"({new} new, {result.baselined_count} baselined, "
                f"{result.suppressed} suppressed)")
+    if fixable:
+        summary += f"; {fixable} fixable with --fix"
     if result.ok:
         summary += " — ok"
     lines.append(summary)

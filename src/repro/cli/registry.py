@@ -18,8 +18,8 @@ import argparse
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from . import (families, fig1, lint, metrics, pipeview, population,
-               report, simulate, tables, tracediff)
+from . import (completion, families, fig1, lint, metrics, pipeview,
+               population, report, simulate, tables, tracediff)
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,7 @@ COMMANDS: Tuple[Command, ...] = tuple(_command(m) for m in (
     pipeview,
     tracediff,
     lint,
+    completion,
 ))
 
 

@@ -179,24 +179,35 @@ def read_manifest(directory: Union[str, os.PathLike]) -> Dict[str, Any]:
     return doc
 
 
-def iter_stream_events(directory: Union[str, os.PathLike]
-                       ) -> Iterator[TraceEvent]:
+def iter_stream_events(directory: Union[str, os.PathLike], *,
+                       start_seq: int = 0) -> Iterator[TraceEvent]:
     """Lazily yield every event of a persisted stream, oldest first.
 
     Reads one chunk at a time, so arbitrarily long streams replay in
     bounded memory.  Raises ``ValueError`` if a chunk's event count
     disagrees with the manifest (truncation/corruption check).
+
+    ``start_seq`` seeks: only events with ``seq >= start_seq`` are
+    yielded, and chunks whose manifest ``last_seq`` falls entirely
+    before the seek point are skipped without ever being opened — the
+    manifest's per-chunk seq ranges make the seek O(chunks skipped)
+    in manifest entries, not O(events skipped) in file reads.
     """
     directory = os.fspath(directory)
     manifest = read_manifest(directory)
     for entry in manifest["chunks"]:
+        if entry["last_seq"] < start_seq:
+            continue  # whole chunk predates the seek point: never opened
         with open(os.path.join(directory, entry["file"])) as f:
             events = events_from_jsonl(f.read())
         if len(events) != entry["events"]:
             raise ValueError(
                 f"chunk {entry['file']} holds {len(events)} events, "
                 f"manifest says {entry['events']}")
-        yield from events
+        if entry["first_seq"] >= start_seq:
+            yield from events
+        else:  # boundary chunk: drop the prefix before the seek point
+            yield from (ev for ev in events if ev.seq >= start_seq)
 
 
 def read_stream_events(directory: Union[str, os.PathLike]

@@ -46,18 +46,19 @@ def project(tmp_path, monkeypatch):
 # Registry and --list-rules
 # ---------------------------------------------------------------------------
 
-def test_registry_ships_all_eleven_rules():
+def test_registry_ships_all_twelve_rules():
     ids = [rule.id for rule in all_rules()]
-    assert ids == [f"SIM{i:03d}" for i in range(1, 12)]
+    assert ids == [f"SIM{i:03d}" for i in range(1, 13)]
     assert get_rule("SIM006").name == "cache-key-completeness"
     assert get_rule("SIM010").name == "float-sum"
     assert get_rule("SIM011").name == "iteration-order"
+    assert get_rule("SIM012").name == "worker-purity"
 
 
 def test_list_rules_prints_catalog(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for i in range(1, 12):
+    for i in range(1, 13):
         assert f"SIM{i:03d}" in out
 
 
@@ -106,22 +107,26 @@ def test_parse_error_exits_1(project, capsys):
 def test_json_report_schema(project, capsys):
     assert main(["lint", "--json", "src"]) == 1
     data = json.loads(capsys.readouterr().out)
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert data["tool"] == "simlint"
     summary = data["summary"]
     assert set(summary) == {"files_scanned", "total", "new", "baselined",
-                            "suppressed", "parse_errors", "rules_run", "ok"}
+                            "suppressed", "fixable", "parse_errors",
+                            "rules_run", "ok"}
     assert summary["files_scanned"] == 1
     assert summary["new"] == 1
+    assert summary["fixable"] == 0  # SIM001 has no autofix
     assert summary["ok"] is False
-    assert summary["rules_run"] == [f"SIM{i:03d}" for i in range(1, 12)]
+    assert summary["rules_run"] == [f"SIM{i:03d}" for i in range(1, 13)]
     (finding,) = data["findings"]
     assert set(finding) == {"rule", "severity", "path", "line", "col",
-                            "message", "snippet", "key", "baselined"}
+                            "message", "snippet", "key", "baselined",
+                            "fixable"}
     assert finding["rule"] == "SIM001"
     assert finding["path"] == "src/mod.py"
     assert finding["snippet"] == "return random.random()"
     assert finding["baselined"] is False
+    assert finding["fixable"] is False
     assert data["parse_errors"] == []
 
 

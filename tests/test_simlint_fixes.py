@@ -1,0 +1,193 @@
+"""Tests for the simlint autofix engine and ``lint --fix`` CLI.
+
+Each fixer (SIM005 mutable-default, SIM009 bare-container-annotation,
+SIM010 float-sum, SIM011 iteration-order) is checked for the exact
+rewrite it produces, the engine for its idempotency contract — fixing
+twice is byte-identical, and a fixed tree re-lints with zero fixable
+findings — and the CLI for the ``--fix`` / ``--fix --diff`` /
+``--fix --check`` surface and exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import run_fix, run_lint
+from repro.analysis.config import load_config
+from repro.analysis.fixes import FIXABLE_RULES
+
+DIRTY_MODULE = '''\
+"""Demo module."""
+
+from collections import OrderedDict
+
+
+def track(values=[], table={'a': 1}):
+    """Doc."""
+    values.append(1)
+    return values, table
+
+
+def mean(xs):
+    total = sum(x * 2.0 for x in xs)
+    return total / len(xs)
+
+
+weights: dict = {"base": 1.0, "boost": 2.0}
+names: list = ["a", "b"]
+
+
+def evict(d):
+    return d.popitem()
+'''
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.simlint]\nbaseline = ""\nfsum_paths = ["src"]\n')
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(DIRTY_MODULE)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def fixed_text(project):
+    return (project / "src" / "mod.py").read_text()
+
+
+# ---------------------------------------------------------------------------
+# The rewrites themselves
+# ---------------------------------------------------------------------------
+
+def test_fix_rewrites_all_four_rule_classes(project):
+    result = run_fix(["src"], config=load_config(project / "src"))
+    assert sorted(result.counts_by_rule()) == ["SIM005", "SIM009",
+                                               "SIM010", "SIM011"]
+    text = fixed_text(project)
+    # SIM005: defaults become None sentinels with ordered guards.
+    assert "def track(values=None, table=None):" in text
+    body = text[text.index("def track"):text.index("def mean")]
+    assert body.index("if values is None:") < body.index("if table is None:")
+    assert "values = []" in body and "table = {'a': 1}" in body
+    assert body.index('"""Doc."""') < body.index("if values is None:")
+    # SIM010: sum -> math.fsum, import inserted once after the imports.
+    assert "math.fsum(x * 2.0 for x in xs)" in text
+    assert text.count("import math") == 1
+    assert text.index("from collections") < text.index("import math")
+    # SIM009: parameters inferred from the assigned literal.
+    assert 'weights: dict[str, float] = {"base": 1.0, "boost": 2.0}' in text
+    assert 'names: list[str] = ["a", "b"]' in text
+    # SIM011: the mapping end is named explicitly.
+    assert "d.popitem(last=True)" in text
+
+
+def test_fix_is_idempotent_and_byte_identical(project):
+    run_fix(["src"], config=load_config(project / "src"))
+    first = fixed_text(project)
+    second_run = run_fix(["src"], config=load_config(project / "src"))
+    assert second_run.fixes == []
+    assert fixed_text(project) == first
+
+
+def test_fixed_tree_relints_with_zero_fixable_findings(project):
+    run_fix(["src"], config=load_config(project / "src"))
+    result = run_lint(["src"], config=load_config(project / "src"))
+    assert result.parse_errors == []
+    assert [f for f in result.new_findings if f.rule in FIXABLE_RULES] == []
+
+
+def test_dry_run_writes_nothing(project):
+    before = fixed_text(project)
+    result = run_fix(["src"], config=load_config(project / "src"),
+                     write=False)
+    assert result.fixes
+    assert fixed_text(project) == before
+
+
+def test_select_scopes_which_fixers_run(project):
+    result = run_fix(["src"], config=load_config(project / "src"),
+                     select=["SIM011"])
+    assert set(result.counts_by_rule()) == {"SIM011"}
+    text = fixed_text(project)
+    assert "d.popitem(last=True)" in text
+    assert "def track(values=[], table={'a': 1}):" in text  # untouched
+
+
+# ---------------------------------------------------------------------------
+# Unfixable shapes stay untouched
+# ---------------------------------------------------------------------------
+
+def test_unfixable_findings_are_left_alone(project):
+    mod = project / "src" / "mod.py"
+    mod.write_text(
+        "f = lambda acc=[]: acc\n"          # SIM005 in a lambda: no body
+        "start: float = 0.5\n"
+        "\n"
+        "\n"
+        "def total(xs):\n"
+        "    return sum(xs, start)\n"        # two-arg sum: skipped
+        "\n"
+        "\n"
+        "def first(d):\n"
+        "    return next(iter(d))\n"         # SIM011's unfixable form
+        "\n"
+        "\n"
+        "empty: list = []\n"                 # nothing to infer params from
+    )
+    before = mod.read_text()
+    result = run_fix(["src"], config=load_config(project / "src"))
+    assert result.fixes == []
+    assert mod.read_text() == before
+
+
+# ---------------------------------------------------------------------------
+# CLI surface: --fix / --diff / --check
+# ---------------------------------------------------------------------------
+
+def test_cli_fix_applies_and_reports(project, capsys):
+    assert main(["lint", "--fix", "src"]) == 0
+    out = capsys.readouterr().out
+    assert "fixes applied" in out
+    assert "SIM005" in out and "SIM011" in out
+    assert "d.popitem(last=True)" in fixed_text(project)
+
+
+def test_cli_diff_previews_without_writing(project, capsys):
+    before = fixed_text(project)
+    assert main(["lint", "--fix", "--diff", "src"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("--- a/")
+    assert "+++ b/" in out
+    assert "+def track(values=None, table=None):" in out
+    assert fixed_text(project) == before
+
+
+def test_cli_check_is_a_ci_guard(project, capsys):
+    before = fixed_text(project)
+    assert main(["lint", "--fix", "--check", "src"]) == 1
+    assert fixed_text(project) == before  # check never writes
+    capsys.readouterr()
+    assert main(["lint", "--fix", "src"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--fix", "--check", "src"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_diff_and_check_require_fix(project, capsys):
+    assert main(["lint", "--diff", "src"]) == 2
+    assert main(["lint", "--check", "src"]) == 2
+    err = capsys.readouterr().err
+    assert "--diff/--check require --fix" in err
+
+
+def test_json_report_marks_fixable_findings(project, capsys):
+    assert main(["lint", "--json", "src"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    fixable = [f for f in data["findings"] if f["fixable"]]
+    assert fixable and all(f["rule"] in FIXABLE_RULES for f in fixable)
+    assert data["summary"]["fixable"] == len(fixable)

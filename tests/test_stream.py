@@ -95,6 +95,38 @@ def test_iter_stream_events_detects_chunk_truncation(tmp_path):
         list(iter_stream_events(d))
 
 
+def test_iter_stream_events_seeks_by_seq(tmp_path):
+    d = tmp_path / "s"
+    with StreamingTraceSink(d, chunk_events=8) as sink:
+        _emit_n(sink, 20)  # chunks cover seqs 0-7, 8-15, 16-19
+
+    # Seek into the middle of a chunk: the boundary chunk's prefix is
+    # dropped, everything after streams through.
+    assert [e.seq for e in iter_stream_events(d, start_seq=10)] == \
+        list(range(10, 20))
+    # Chunk-aligned and past-the-end seeks.
+    assert [e.seq for e in iter_stream_events(d, start_seq=16)] == \
+        [16, 17, 18, 19]
+    assert list(iter_stream_events(d, start_seq=20)) == []
+    # start_seq=0 is the default full replay.
+    assert [e.seq for e in iter_stream_events(d)] == list(range(20))
+
+
+def test_seek_skips_whole_chunks_without_opening_them(tmp_path):
+    d = tmp_path / "s"
+    with StreamingTraceSink(d, chunk_events=8) as sink:
+        _emit_n(sink, 20)
+    # Destroy the first two chunk files: a manifest-driven seek past
+    # them must still succeed, proving the reader never opened them.
+    (d / "trace-000001.jsonl").unlink()
+    (d / "trace-000002.jsonl").write_text("not json\n")
+    assert [e.seq for e in iter_stream_events(d, start_seq=16)] == \
+        [16, 17, 18, 19]
+    # A full replay does need chunk 1, and fails accordingly.
+    with pytest.raises(OSError):
+        list(iter_stream_events(d))
+
+
 def test_read_manifest_rejects_unknown_schema(tmp_path):
     d = tmp_path / "s"
     with StreamingTraceSink(d, chunk_events=4) as sink:
