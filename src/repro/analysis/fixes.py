@@ -1,11 +1,14 @@
 """The simlint autofix engine: precise span rewrites for mechanical rules.
 
-Four of the shipped rules flag hazards whose remedy is purely
+Five of the shipped rules flag hazards whose remedy is purely
 mechanical, and for those the fix *is* the finding:
 
 ======  =======================  =====================================
 rule    finding                  rewrite
 ======  =======================  =====================================
+SIM004  ``sum(d.values())``      ``math.fsum(d[k] for k in
+                                 sorted(d))`` (order-independent
+                                 accumulation over sorted keys)
 SIM005  mutable default arg      default -> ``None`` + an ``if x is
                                  None: x = <default>`` guard at the
                                  top of the body
@@ -30,7 +33,8 @@ pins both properties).
 Findings the fixers cannot prove safe stay findings: a lambda's mutable
 default (nowhere to put the guard), an annotation whose assigned value
 is empty or heterogeneous, a two-argument ``sum(xs, 0.0)`` (``fsum``
-takes no start).  ``python -m repro lint --fix`` applies, ``--fix
+takes no start), a ``sum(f().values())`` whose receiver the rewrite
+would have to evaluate twice.  ``python -m repro lint --fix`` applies, ``--fix
 --diff`` previews, ``--fix --check`` is the CI guard that fails the
 build while fixable findings exist.
 """
@@ -47,7 +51,8 @@ from .config import LintConfig, load_config
 from .core import ASTRule, FileContext, _relpath, iter_python_files
 
 #: Rules the engine can rewrite (the JSON report's ``fixable`` flag).
-FIXABLE_RULES = frozenset({"SIM005", "SIM009", "SIM010", "SIM011"})
+FIXABLE_RULES = frozenset({"SIM004", "SIM005", "SIM009", "SIM010",
+                           "SIM011"})
 
 #: Constant value types the SIM009 fixer will name in a subscript.
 _CONST_TYPE_NAMES = {bool: "bool", int: "int", float: "float",
@@ -215,6 +220,60 @@ def _rule_findings(rule: ASTRule, ctx: FileContext,
     for f in rule.check(ctx, config):
         if not ctx.is_suppressed(f):
             yield f
+
+
+# ---------------------------------------------------------------------------
+# SIM004: sum(d.values()) -> math.fsum over sorted keys
+# ---------------------------------------------------------------------------
+
+def _is_pure_receiver(node: ast.AST) -> bool:
+    """True when duplicating ``node`` in the rewrite cannot re-run side
+    effects: a bare name or a dotted chain of names (attribute access on
+    plain objects; no calls, no subscripts)."""
+    if isinstance(node, ast.Name):
+        return True
+    if isinstance(node, ast.Attribute):
+        return _is_pure_receiver(node.value)
+    return False
+
+
+def _fix_sim004(ctx: FileContext, config: LintConfig,
+                rule: ASTRule) -> Iterator[Fix]:
+    spelling = _fsum_spelling(ctx)
+    need_import = spelling is None
+    import_emitted = False
+    for finding in _rule_findings(rule, ctx, config):
+        call = _find_node(ctx, finding.line, finding.col, (ast.Call,))
+        if call is None or len(call.args) != 1 or call.keywords:
+            continue
+        func = call.func
+        if not (isinstance(func, ast.Name) and func.id == "sum"):
+            continue  # SIM004's set-order findings have no spelled fix
+        values_call = call.args[0]
+        if not (isinstance(values_call, ast.Call)
+                and isinstance(values_call.func, ast.Attribute)
+                and values_call.func.attr == "values"
+                and not values_call.args and not values_call.keywords):
+            continue
+        recv = values_call.func.value
+        if not _is_pure_receiver(recv):
+            continue  # the rewrite evaluates the receiver twice
+        recv_text = _span_text(ctx, recv)
+        name = spelling or "math.fsum"
+        edits = [TextEdit(
+            *_node_span(call),
+            replacement=f"{name}({recv_text}[k] "
+                        f"for k in sorted({recv_text}))")]
+        if need_import and not import_emitted:
+            at = _import_insert_line(ctx.tree)
+            edits.append(TextEdit((at, 0), (at, 0), "import math\n"))
+            import_emitted = True
+        yield Fix(
+            rule=finding.rule, path=ctx.relpath, line=finding.line,
+            col=finding.col,
+            message=f"sum({recv_text}.values()) -> {name} over "
+                    f"sorted({recv_text}) keys (order-independent)",
+            edits=tuple(edits))
 
 
 # ---------------------------------------------------------------------------
@@ -435,6 +494,7 @@ def _fix_sim011(ctx: FileContext, config: LintConfig,
 
 
 _FIXERS = {
+    "SIM004": _fix_sim004,
     "SIM005": _fix_sim005,
     "SIM009": _fix_sim009,
     "SIM010": _fix_sim010,
@@ -465,7 +525,10 @@ def fix_file(ctx: FileContext, config: LintConfig,
     fixes = compute_file_fixes(ctx, config, rule_ids)
     if not fixes:
         return result
-    edits = [e for f in fixes for e in f.edits]
+    # Identical edits collapse to one application: two fixers that each
+    # need `import math` both emit the same zero-width insert, and the
+    # file must gain the import once.
+    edits = list(dict.fromkeys(e for f in fixes for e in f.edits))
     if _edits_overlap(edits, ctx.source):
         result.notes.append(
             f"{ctx.relpath}: overlapping fixes; apply and re-run")

@@ -1,0 +1,114 @@
+"""``python -m repro checkpoint`` — save/inspect/resume simulator state.
+
+``save`` runs a trace prefix and writes the versioned checkpoint JSON
+(with the trace spec embedded so ``restore`` can regenerate the
+workload), ``info`` summarizes a checkpoint file, and ``restore``
+resumes the remaining instructions and prints the final stats — which
+are bit-identical to an uninterrupted run of the full trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..config import GENERATION_ORDER
+from ..state import load_checkpoint, save_checkpoint
+from ..traces import FAMILIES, TraceSpec
+
+NAME = "checkpoint"
+HELP = "save, inspect, or resume a mid-run simulator checkpoint"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="checkpoint_command", required=True)
+
+    save = sub.add_parser("save", help="simulate a trace prefix and "
+                                       "write a checkpoint")
+    save.add_argument("--family", default="specint_like",
+                      choices=sorted(FAMILIES))
+    save.add_argument("--seed", type=int, default=1)
+    save.add_argument("--length", type=int, default=20_000,
+                      help="full trace length in instructions")
+    save.add_argument("--gen", default="M5",
+                      choices=list(GENERATION_ORDER))
+    save.add_argument("--corunners", type=int, default=0)
+    save.add_argument("--instructions", type=int, required=True,
+                      help="how many instructions to simulate before "
+                           "checkpointing")
+    save.add_argument("-o", "--output", required=True,
+                      help="checkpoint JSON path")
+    save.set_defaults(checkpoint_func=_run_save)
+
+    info = sub.add_parser("info", help="summarize a checkpoint file")
+    info.add_argument("path")
+    info.set_defaults(checkpoint_func=_run_info)
+
+    restore = sub.add_parser("restore",
+                             help="resume a checkpoint to the end of "
+                                  "its trace and print final stats")
+    restore.add_argument("path")
+    restore.set_defaults(checkpoint_func=_run_restore)
+
+
+def _run_save(args: argparse.Namespace) -> int:
+    from ..core import GenerationSimulator
+
+    spec = TraceSpec(args.family, args.seed, args.length)
+    if not 0 < args.instructions < args.length:
+        print(f"error: --instructions must be in (0, {args.length})")
+        return 2
+    trace = spec.build()
+    sim = GenerationSimulator(args.gen, corunners=args.corunners)
+    sim.run(trace.slice(0, args.instructions), finalize=False)
+    doc = sim.save_state()
+    # The trace spec rides along so `restore` can regenerate the
+    # workload; the core checkpoint never stores trace contents.
+    doc["trace_spec"] = spec.to_dict()
+    save_checkpoint(args.output, doc)
+    print(f"checkpointed {args.gen} after {args.instructions} of "
+          f"{args.length} instructions of {trace.name} -> {args.output}")
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    doc = load_checkpoint(args.path)
+    spec = doc.get("trace_spec")
+    print(f"schema:       {doc['schema']} (repro {doc['version']})")
+    print(f"generation:   {doc['generation']}")
+    print(f"corunners:    {doc['corunners']}")
+    print(f"instructions: {doc['instructions']}")
+    if spec is not None:
+        print(f"trace:        {spec['family']} seed={spec['seed']} "
+              f"length={spec['n_instructions']}")
+    components = doc.get("components", {})
+    present = ", ".join(k for k, v in sorted(components.items())
+                        if v is not None)
+    print(f"components:   {present}")
+    return 0
+
+
+def _run_restore(args: argparse.Namespace) -> int:
+    from ..core import GenerationSimulator
+
+    doc = load_checkpoint(args.path)
+    spec = doc.get("trace_spec")
+    if spec is None:
+        print("error: checkpoint carries no trace spec "
+              "(not written by `repro checkpoint save`)")
+        return 2
+    trace = TraceSpec(**spec).build()
+    start = int(doc["instructions"])
+    sim = GenerationSimulator(doc["generation"],
+                              corunners=int(doc["corunners"]))
+    sim.restore(doc)
+    r = sim.run(trace.slice(start))
+    print(f"resumed {doc['generation']} at instruction {start}, "
+          f"ran {len(trace) - start} more of {trace.name}")
+    print(f"IPC {r.ipc:.3f}  MPKI {r.mpki:.2f}  "
+          f"load-lat {r.average_load_latency:.1f}  "
+          f"cycles {r.core.cycles:.0f}")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    return args.checkpoint_func(args)

@@ -18,8 +18,8 @@ import argparse
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from . import (completion, families, fig1, lint, metrics, pipeview,
-               population, report, simulate, tables, tracediff)
+from . import (checkpoint, completion, families, fig1, lint, metrics,
+               pipeview, population, report, simulate, tables, tracediff)
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,7 @@ COMMANDS: Tuple[Command, ...] = tuple(_command(m) for m in (
     metrics,
     pipeview,
     tracediff,
+    checkpoint,
     lint,
     completion,
 ))

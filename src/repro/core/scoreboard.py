@@ -104,10 +104,18 @@ class Scoreboard:
                  memory: Optional[MemoryHierarchy] = None,
                  icache=None,
                  registry: Optional[MetricRegistry] = None,
-                 sink: Optional[TraceSink] = None) -> None:
+                 sink: Optional[TraceSink] = None,
+                 on_branch: Optional[Callable[["TraceRecord", int],
+                                              None]] = None) -> None:
         self.config = config
         self.branch_unit = branch_unit
         self.memory = memory
+        #: Optional per-branch hook ``(record, absolute_index)`` invoked
+        #: after the branch unit processed the record — the simulator
+        #: drives the UOC mode machine through it, in stream order, so a
+        #: checkpointed run feeds the UOC identically to an uninterrupted
+        #: one.
+        self.on_branch = on_branch
         #: Optional flight recorder; ``None`` (the default) disables
         #: tracing at the cost of one branch per instruction.
         self.sink = sink
@@ -133,6 +141,22 @@ class Scoreboard:
         self._store = _PortGroup(c.store_pipes + c.generic_mem_pipes)
         self._fp = _PortGroup(c.fp_pipes)
         self._fmac = _PortGroup(c.fmac_pipes)
+
+        # Resumable execution state: `run` works on local aliases of these
+        # for speed and writes the scalars back when the segment ends, so
+        # a checkpoint taken between `run` calls captures the in-flight
+        # timing picture exactly (see ``state_dict``).
+        self._completions: List[float] = [0.0] * _DEP_WINDOW  # ring buffer
+        self._is_load_at: List[bool] = [False] * _DEP_WINDOW
+        self._rob: List[float] = [0.0] * c.rob_size  # retire-time ring
+        self._rob_pos = 0
+        self._fetch_time = 0.0
+        self._group_count = 0      # instructions in the current fetch group
+        self._group_branches = 0   # branches predicted this fetch cycle
+        self._last_completion = 0.0
+        self._current_fetch_line = -1
+        self._index = 0            # absolute instruction index across runs
+        self._until_window = -1    # window countdown, carried across runs
 
     # -- helpers -------------------------------------------------------------
 
@@ -199,24 +223,32 @@ class Scoreboard:
         c_st_fe = stats.cell("stall_frontend_cycles")
         c_st_mem = stats.cell("stall_memory_cycles")
 
-        completions: List[float] = [0.0] * _DEP_WINDOW  # ring buffer
-        is_load_at: List[bool] = [False] * _DEP_WINDOW
-        rob: List[float] = [0.0] * cfg.rob_size  # retire-time ring
-        rob_pos = 0
-        fetch_time = 0.0
-        group_count = 0          # instructions in the current fetch group
-        group_branches = 0       # branches predicted this fetch cycle
-        last_completion = 0.0
-        current_fetch_line = -1
-        # Window countdown; 0 disables windowing entirely.
+        # Local aliases of the resumable execution state (list state is
+        # shared in place; scalars are written back after the loop).
+        completions = self._completions  # ring buffer
+        is_load_at = self._is_load_at
+        rob = self._rob  # retire-time ring
+        rob_pos = self._rob_pos
+        fetch_time = self._fetch_time
+        group_count = self._group_count
+        group_branches = self._group_branches
+        last_completion = self._last_completion
+        current_fetch_line = self._current_fetch_line
+        i = self._index
+        # Window countdown; 0 disables windowing entirely.  The countdown
+        # carries across run segments so a checkpoint/resume pair closes
+        # windows at the same absolute instruction counts.
         windowing = window_interval > 0 and on_window is not None
-        until_window = window_interval if windowing else -1
+        if windowing and self._until_window < 0:
+            self._until_window = window_interval
+        until_window = self._until_window if windowing else -1
         # Flight recorder (None = tracing off).  Tracing only *reads*
         # values the loop computed anyway, so attaching a sink never
         # changes simulated timing.
         trc = self.sink
+        on_branch = self.on_branch
 
-        for i, rec in enumerate(trace):
+        for rec in trace:
             c_instr.value += 1
             ic_stall = 0.0
             branch_result = None
@@ -333,6 +365,8 @@ class Scoreboard:
                         fetch_time += 1.0
                         group_count = 0
                         group_branches = 0
+                if on_branch is not None:
+                    on_branch(rec, i)
 
             # ---- stall attribution (CPI-stack buckets) -------------------
             # Mirrors the interval model's CPI buckets; priority
@@ -375,6 +409,7 @@ class Scoreboard:
                     stall_cycles=float(stall)))
 
             # ---- metrics window boundary ---------------------------------
+            i += 1
             if windowing:
                 until_window -= 1
                 if until_window == 0:
@@ -386,5 +421,67 @@ class Scoreboard:
                     c_cycles.value = max(last_completion, fetch_time, 1.0)
                     on_window()
 
+        # Write the scalar execution state back for checkpoint/resume.
+        self._rob_pos = rob_pos
+        self._fetch_time = fetch_time
+        self._group_count = group_count
+        self._group_branches = group_branches
+        self._last_completion = last_completion
+        self._current_fetch_line = current_fetch_line
+        self._index = i
+        if windowing:
+            self._until_window = until_window
         c_cycles.value = max(last_completion, fetch_time, 1.0)
         return stats
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # The branch unit, memory hierarchy, icache, registry and sink are
+    # wired in by the owner (the simulator) and checkpointed there; this
+    # covers only the scoreboard's own in-flight timing state.  Port free
+    # times and completion rings are absolute cycle floats, so a restored
+    # scoreboard continues on the same timeline.
+
+    _PORT_GROUPS = ("_simple", "_complex", "_div", "_branch", "_load",
+                    "_store", "_fp", "_fmac")
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "ports": {name: list(getattr(self, name).free)
+                      for name in self._PORT_GROUPS},
+            "completions": list(self._completions),
+            "is_load_at": list(self._is_load_at),
+            "rob": list(self._rob),
+            "rob_pos": self._rob_pos,
+            "fetch_time": self._fetch_time,
+            "group_count": self._group_count,
+            "group_branches": self._group_branches,
+            "last_completion": self._last_completion,
+            "current_fetch_line": self._current_fetch_line,
+            "index": self._index,
+            "until_window": self._until_window,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        for name in self._PORT_GROUPS:
+            group = getattr(self, name)
+            free = state["ports"][name]
+            if len(free) != len(group.free):
+                raise ValueError(
+                    f"scoreboard: port group {name} has {len(group.free)} "
+                    f"ports, checkpoint has {len(free)}")
+            group.free[:] = [float(t) for t in free]
+        if len(state["rob"]) != len(self._rob):
+            raise ValueError(
+                f"scoreboard: ROB size {len(self._rob)} != checkpoint "
+                f"{len(state['rob'])}")
+        self._completions[:] = [float(t) for t in state["completions"]]
+        self._is_load_at[:] = [bool(b) for b in state["is_load_at"]]
+        self._rob[:] = [float(t) for t in state["rob"]]
+        self._rob_pos = int(state["rob_pos"])
+        self._fetch_time = float(state["fetch_time"])
+        self._group_count = int(state["group_count"])
+        self._group_branches = int(state["group_branches"])
+        self._last_completion = float(state["last_completion"])
+        self._current_fetch_line = int(state["current_fetch_line"])
+        self._index = int(state["index"])
+        self._until_window = int(state["until_window"])

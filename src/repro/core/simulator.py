@@ -22,12 +22,13 @@ from ..config import GenerationConfig, get_generation
 from ..frontend.predictor import BranchStats, BranchUnit
 from ..memory.hierarchy import MemoryHierarchy, MemoryStats
 from ..memory.icache import InstructionCache
-from ..metrics import (DEFAULT_WINDOW_INSTRUCTIONS, MetricRegistry,
-                       WindowRecorder, WindowSample, window_metric_series)
+from ..metrics import (DEFAULT_WINDOW_INSTRUCTIONS, WINDOW_COUNTERS,
+                       MetricRegistry, WindowRecorder, WindowSample,
+                       window_metric_series)
 from ..observe.events import TraceEvent
 from ..observe.sink import TraceSink
 from ..power import EnergyLedger
-from ..traces.types import Trace
+from ..traces.types import Trace, TraceRecord
 from ..uop_cache import UocController, UocMode, UopCache
 from .scoreboard import CoreStats, Scoreboard
 
@@ -81,6 +82,7 @@ class GenerationSimulator:
         if isinstance(config, str):
             config = get_generation(config)
         self.config = config
+        self.corunners = corunners
         self.metrics = MetricRegistry()
         #: Optional flight recorder shared by every component; ``None``
         #: (the default) keeps all emission sites disabled.
@@ -106,11 +108,27 @@ class GenerationSimulator:
                                      memory=self.memory,
                                      icache=self.icache,
                                      registry=self.metrics,
-                                     sink=trace_sink)
+                                     sink=trace_sink,
+                                     on_branch=(self._uoc_on_branch
+                                                if self.uoc is not None
+                                                else None))
+        # Resumable run-segmentation state (see ``save_state``): the UOC
+        # block-stream cursor, the one-time legacy base-block energy
+        # charge, and the window recorder shared across run segments.
+        self._uoc_block_pc: Optional[int] = None
+        self._uoc_last_branch = -1
+        self._legacy_base_charged = False
+        self._recorder: Optional[WindowRecorder] = None
+
+    @property
+    def instructions_simulated(self) -> int:
+        """Retired instructions across every ``run`` segment so far."""
+        return self.scoreboard._index
 
     def run(self, trace: Trace, *,
             window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
             window_counters: Optional[Sequence[str]] = None,
+            finalize: bool = True,
             ) -> SimulationResult:
         """Simulate one trace slice end to end.
 
@@ -121,30 +139,39 @@ class GenerationSimulator:
         standard :data:`~repro.metrics.WINDOW_COUNTERS` five).
         Windowing reads counters the scoreboard maintains anyway, so
         timing results are identical either way.
+
+        Each call continues where the previous one stopped: run a trace
+        prefix with ``finalize=False``, :meth:`save_state`, restore into
+        a fresh simulator, then run the remaining slice — the final
+        result is bit-identical to one uninterrupted run.
+        ``finalize=False`` skips flushing the trailing partial metrics
+        window (the next segment keeps filling it); window configuration
+        must match across segments.
         """
-        recorder: Optional[WindowRecorder] = None
-        on_window = None
-        if window_interval > 0:
-            if window_counters is not None:
-                recorder = WindowRecorder(self.metrics, window_interval,
-                                          counters=tuple(window_counters))
-            else:
-                recorder = WindowRecorder(self.metrics, window_interval)
-            on_window = recorder.take
+        recorder = self._ensure_recorder(window_interval, window_counters)
+        on_window = recorder.take if recorder is not None else None
+        if self.uoc is not None and self._uoc_block_pc is None and len(trace):
+            self._uoc_block_pc = trace[0].pc
         core = self.scoreboard.run(trace, on_window=on_window,
                                    window_interval=window_interval)
-        windows: List[WindowSample] = []
-        if recorder is not None:
-            windows = recorder.finish()
-        self._drive_uoc(trace)
         if self.uoc is not None:
             fetch_frac = self.uoc.stats.fetch_fraction
         else:
             fetch_frac = 0.0
             # Legacy front end: every block pays fetch + decode energy.
-            blocks = sum(1 for r in trace if r.is_branch) + 1
-            self.ledger.record("icache_fetch", blocks)
-            self.ledger.record("decode", blocks)
+            # The trailing block (after the last branch) is charged once
+            # per *run*, not once per segment.
+            blocks = sum(1 for r in trace if r.is_branch)
+            if not self._legacy_base_charged:
+                blocks += 1
+                self._legacy_base_charged = True
+            if blocks:
+                self.ledger.record("icache_fetch", blocks)
+                self.ledger.record("decode", blocks)
+        windows: List[WindowSample] = []
+        if recorder is not None:
+            windows = (recorder.finish() if finalize
+                       else list(recorder.windows))
         return SimulationResult(
             generation=self.config.name,
             trace_name=trace.name,
@@ -159,28 +186,126 @@ class GenerationSimulator:
                     if self.trace_sink is not None else []),
         )
 
-    def _drive_uoc(self, trace: Trace) -> None:
-        """Feed the UOC mode machine the trace's basic-block stream.
+    def _ensure_recorder(self, interval: int,
+                         counters: Optional[Sequence[str]]
+                         ) -> Optional[WindowRecorder]:
+        """The run-segment-spanning window recorder (None = windowing
+        off).  A resumed segment must use the same window configuration
+        as the segments before it."""
+        if interval <= 0:
+            return None
+        want = tuple(counters) if counters is not None else WINDOW_COUNTERS
+        if self._recorder is None:
+            self._recorder = WindowRecorder(self.metrics, interval,
+                                            counters=want)
+        elif (self._recorder.interval != int(interval)
+              or self._recorder.counters != want):
+            raise ValueError(
+                "window configuration changed across run segments")
+        return self._recorder
 
-        Runs after the scoreboard pass so the uBTB's learned
-        predictability is available as the FilterMode signal — the same
-        information order as hardware, where the uBTB has trained on
-        earlier iterations of the kernel being filtered.
+    def _uoc_on_branch(self, rec: TraceRecord, index: int) -> None:
+        """Feed the basic block ended by ``rec`` into the UOC mode
+        machine.
+
+        Driven from inside the scoreboard loop, right after the branch
+        unit processed the record, so the uBTB's learned predictability
+        for each block reflects exactly the instructions retired before
+        it — the same information order as hardware, and the property
+        that makes a checkpointed run feed the UOC identically to an
+        uninterrupted one.
+
+        "Predictable" is instantaneous confidence OR an established
+        low lifetime miss rate: the uBTB zeroes confidence on every LHP
+        miss, so a trip-N loop exit (which misses 1/N of the time by
+        construction) would otherwise break the filter streak on every
+        iteration of a kernel that is exactly what the UOC exists to
+        serve.  Both signals live in checkpointed node state.
         """
-        if self.uoc is None:
-            return
-        ubtb = self.branch_unit.ubtb
-        block_pc = trace[0].pc if len(trace) else 0
-        n_uops = 0
-        for rec in trace:
-            n_uops += 1
-            if not rec.is_branch:
-                continue
-            node = ubtb._get_node(rec.pc)
-            predictable = node is not None and node.confidence >= 3
-            self.uoc.on_block(block_pc, n_uops, predictable)
-            block_pc = rec.target if rec.taken else rec.pc + 4
-            n_uops = 0
+        node = self.branch_unit.ubtb._get_node(rec.pc)
+        predictable = node is not None and (
+            node.confidence >= 3
+            or (node.visits >= 8 and node.lhp_misses * 8 <= node.visits))
+        self.uoc.on_block(self._uoc_block_pc, index - self._uoc_last_branch,
+                          predictable)
+        self._uoc_block_pc = rec.target if rec.taken else rec.pc + 4
+        self._uoc_last_branch = index
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def save_state(self) -> dict[str, object]:
+        """A versioned, JSON-serializable checkpoint of the whole
+        simulator — every component's ``state_dict`` plus the run-
+        segmentation cursors.  Restore with :meth:`restore` on a fresh
+        simulator built with the same config/corunners/sink setup."""
+        from ..state import checkpoint_document
+
+        payload = {
+            "generation": self.config.name,
+            "corunners": self.corunners,
+            "instructions": self.scoreboard._index,
+            "components": {
+                "metrics": self.metrics.state_dict(),
+                "ledger": self.ledger.state_dict(),
+                "branch_unit": self.branch_unit.state_dict(),
+                "memory": self.memory.state_dict(),
+                "icache": self.icache.state_dict(),
+                "uoc": (self.uoc.state_dict()
+                        if self.uoc is not None else None),
+                "scoreboard": self.scoreboard.state_dict(),
+            },
+            "uoc_drive": {
+                "block_pc": self._uoc_block_pc,
+                "last_branch": self._uoc_last_branch,
+            },
+            "legacy_base_charged": self._legacy_base_charged,
+            "recorder": (self._recorder.state_dict()
+                         if self._recorder is not None else None),
+            "sink": (self.trace_sink.state_dict()
+                     if self.trace_sink is not None else None),
+        }
+        return checkpoint_document(payload)
+
+    def restore(self, doc: dict[str, object]) -> None:
+        """Load a :meth:`save_state` document into this simulator (in
+        place; geometry/config mismatches raise ``ValueError``)."""
+        from ..state import validate_checkpoint
+
+        doc = validate_checkpoint(doc)
+        if doc["generation"] != self.config.name:
+            raise ValueError(
+                f"checkpoint is for generation {doc['generation']!r}, "
+                f"this simulator is {self.config.name!r}")
+        if int(doc["corunners"]) != self.corunners:
+            raise ValueError(
+                f"checkpoint has corunners={doc['corunners']}, this "
+                f"simulator has {self.corunners}")
+        comp = doc["components"]
+        if (comp["uoc"] is None) != (self.uoc is None):
+            raise ValueError("UOC presence mismatch vs checkpoint")
+        self.metrics.load_state_dict(comp["metrics"])
+        self.ledger.load_state_dict(comp["ledger"])
+        self.branch_unit.load_state_dict(comp["branch_unit"])
+        self.memory.load_state_dict(comp["memory"])
+        self.icache.load_state_dict(comp["icache"])
+        if self.uoc is not None:
+            self.uoc.load_state_dict(comp["uoc"])
+        self.scoreboard.load_state_dict(comp["scoreboard"])
+        drive = doc["uoc_drive"]
+        self._uoc_block_pc = (int(drive["block_pc"])
+                              if drive["block_pc"] is not None else None)
+        self._uoc_last_branch = int(drive["last_branch"])
+        self._legacy_base_charged = bool(doc["legacy_base_charged"])
+        if doc["recorder"] is not None:
+            recorder = WindowRecorder(
+                self.metrics, int(doc["recorder"]["interval"]),
+                counters=tuple(doc["recorder"]["counters"]))
+            recorder.load_state_dict(doc["recorder"])
+            self._recorder = recorder
+        else:
+            self._recorder = None
+        if self.trace_sink is not None and doc["sink"] is not None:
+            self.trace_sink.load_state_dict(doc["sink"])
 
 
 def simulate(generation: str, trace: Trace) -> SimulationResult:

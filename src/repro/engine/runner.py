@@ -30,7 +30,7 @@ from ..traces.workloads import standard_suite_specs
 from .cache import TaskCache, clear_memory
 from .results import PopulationResult, SliceMetrics
 from .tasks import (execute_task_timed, population_task, task_fingerprint,
-                    task_label)
+                    task_label, warmup_task)
 
 ProgressFn = Callable[[int, int], None]
 
@@ -63,6 +63,18 @@ class EngineStats:
             f"({self.tasks_per_second:.1f} tasks/s, "
             f"workers={self.workers}, cache={self.cache_mode})"
         )
+
+    def absorb(self, other: "EngineStats") -> None:
+        """Fold another phase's stats into this one (warmup + measure
+        phases of one population run report as a single total)."""
+        self.tasks_total += other.tasks_total
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.wall_seconds += other.wall_seconds
+        for phase, seconds in other.phase_breakdown.items():
+            self.phase_breakdown[phase] = (
+                self.phase_breakdown.get(phase, 0.0) + seconds)
+        self.task_timings.extend(other.task_timings)
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -179,7 +191,7 @@ class PopulationEngine:
 #: Lets several benches share one ``PopulationResult`` *object* within a
 #: process, on top of the per-task result cache.
 _PopulationKey = Tuple[int, int, int, Tuple[str, ...], int,
-                       Optional[Tuple[str, ...]]]
+                       Optional[Tuple[str, ...]], int]
 _POPULATION_MEMO: Dict[_PopulationKey, PopulationResult] = {}
 
 
@@ -203,6 +215,7 @@ def execute_population(
     progress: Optional[ProgressFn] = None,
     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
     window_counters: Optional[Sequence[str]] = None,
+    warmup: int = 0,
 ) -> Tuple[PopulationResult, EngineStats]:
     """Run the standard suite on each generation, returning result+stats.
 
@@ -213,13 +226,20 @@ def execute_population(
     them) and ``window_counters`` selects which registry counters each
     window snapshots (default: the standard five); like ``workers``,
     neither ever perturbs the timing results.
+
+    ``warmup`` > 0 splits every slice into a warmup prefix of that many
+    instructions — simulated exactly once per (config, trace, warmup)
+    and persisted as a checkpoint through the task cache — plus a
+    measure phase resumed from the snapshot.  Results are bit-identical
+    to ``warmup=0``; only scheduling and cache reuse change.
     """
     gens = tuple(generations) if generations else GENERATION_ORDER
     configs = [get_generation(g) for g in gens]
     counters = (tuple(window_counters)
                 if window_counters is not None else None)
+    warmup = int(warmup)
     memo_key = (n_slices, slice_length, seed, gens, window_interval,
-                counters)
+                counters, warmup)
     if cache != "off":
         memoized = _POPULATION_MEMO.get(memo_key)
         if memoized is not None:
@@ -235,15 +255,33 @@ def execute_population(
 
     specs = standard_suite_specs(n_slices=n_slices,
                                  slice_length=slice_length, seed=seed)
+    engine = PopulationEngine(workers=workers, cache=cache,
+                              cache_dir=cache_dir, progress=progress)
     # Trace-major submission order: the per-worker trace memo then sees
     # all generations of one trace back to back.
     payloads = [population_task(config, spec,
                                 window_interval=window_interval,
-                                window_counters=counters)
+                                window_counters=counters,
+                                warmup=warmup)
                 for spec in specs for config in configs]
-    engine = PopulationEngine(workers=workers, cache=cache,
-                              cache_dir=cache_dir, progress=progress)
+    warmup_stats: Optional[EngineStats] = None
+    if warmup > 0:
+        # Phase 1: one cached warmup-prefix checkpoint per (config,
+        # trace, warmup); phase 2 measure tasks resume from them (the
+        # checkpoint travels as a transport-only field, excluded from
+        # the measure fingerprint — it is derived state).
+        warmups = [warmup_task(config, spec,
+                               window_interval=window_interval,
+                               window_counters=counters,
+                               warmup=warmup)
+                   for spec in specs for config in configs]
+        checkpoints, warmup_stats = engine.run_payloads(warmups)
+        for payload, state in zip(payloads, checkpoints):
+            payload["_warmup_state"] = state
     rows, stats = engine.run_payloads(payloads)
+    if warmup_stats is not None:
+        stats.absorb(warmup_stats)
+        engine.last_stats = stats
 
     result = PopulationResult()
     n_gens = len(configs)
@@ -268,6 +306,7 @@ def run_population(
     progress: Optional[ProgressFn] = None,
     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
     window_counters: Optional[Sequence[str]] = None,
+    warmup: int = 0,
 ) -> PopulationResult:
     """Simulate the standard suite on each generation.
 
@@ -277,13 +316,17 @@ def run_population(
     task matrix across processes, and ``cache="disk"`` to persist
     per-task results under ``~/.cache/repro`` so repeated runs skip
     simulation entirely.  ``window_counters`` customizes which registry
-    counters the per-window series snapshot.
+    counters the per-window series snapshot.  ``warmup=N`` simulates
+    each slice's first N instructions once per (config, trace, N) as a
+    cached checkpoint and resumes measure phases from the snapshots —
+    results are bit-identical to ``warmup=0``.
     """
     result, _ = execute_population(
         n_slices=n_slices, slice_length=slice_length, seed=seed,
         generations=generations, workers=workers, cache=cache,
         cache_dir=cache_dir, progress=progress,
-        window_interval=window_interval, window_counters=window_counters)
+        window_interval=window_interval, window_counters=window_counters,
+        warmup=warmup)
     return result
 
 
@@ -294,6 +337,7 @@ def run_population(
 def run(trace_or_spec: TraceLike,
         generation: Union[str, GenerationConfig], *,
         corunners: int = 0,
+        warmup: int = 0,
         trace_to=None):
     """Simulate one trace on one generation — the one-stop entry point.
 
@@ -304,6 +348,13 @@ def run(trace_or_spec: TraceLike,
     .GenerationConfig` (e.g. a design-exploration variant).  Returns the
     full :class:`~repro.core.simulator.SimulationResult`.
 
+    ``warmup=N`` simulates the first N instructions once per (config,
+    trace, N) — the checkpoint is memoized in-process, so repeated
+    ``run`` calls over the same prefix restore instead of re-simulating
+    — and resumes the measure phase from the snapshot.  Results are
+    bit-identical to ``warmup=0``.  The memo needs a regenerable spec:
+    a materialized ``Trace`` falls back to one uninterrupted run.
+
     ``trace_to`` turns pipeline event tracing on (the public API —
     hand-wiring a sink into ``GenerationSimulator`` is the deprecated
     spelling): ``True`` captures in memory (``result.events``), a
@@ -312,22 +363,41 @@ def run(trace_or_spec: TraceLike,
     :class:`~repro.observe.TraceSink` / :class:`~repro.observe
     .StreamingTraceSink` is used as-is (see
     :func:`repro.observe.trace`).  Default ``None``: tracing off, the
-    zero-overhead path.
+    zero-overhead path.  With ``warmup``, the warmup prefix runs
+    untraced — the captured stream covers the measure phase only.
     """
     from ..core import GenerationSimulator
 
     config = (generation if isinstance(generation, GenerationConfig)
               else get_generation(generation))
-    trace = (trace_or_spec if isinstance(trace_or_spec, Trace)
-             else coerce_spec(trace_or_spec).build())
+    if isinstance(trace_or_spec, Trace):
+        trace, spec = trace_or_spec, None
+    else:
+        spec = coerce_spec(trace_or_spec)
+        trace = spec.build()
+
+    warm_state = None
+    if warmup and spec is not None:
+        from .tasks import warmup_checkpoint, warmup_task
+
+        warm_state = warmup_checkpoint(
+            warmup_task(config, spec, corunners=corunners,
+                        warmup=int(warmup)))
+        trace = trace.slice(int(warmup))
+
+    def build_and_run(sink=None):
+        sim = GenerationSimulator(config, corunners=corunners,
+                                  trace_sink=sink)
+        if warm_state is not None:
+            sim.restore(warm_state)
+        return sim.run(trace)
+
     if trace_to is None:
-        return GenerationSimulator(config, corunners=corunners).run(trace)
+        return build_and_run()
 
     from ..observe.stream import trace as trace_capture
 
     target = None if trace_to is True else trace_to
     spec_meta = {"generation": config.name, "trace": trace.name}
     with trace_capture(target, meta=spec_meta) as sink:
-        sim = GenerationSimulator(config, corunners=corunners,
-                                  trace_sink=sink)
-        return sim.run(trace)
+        return build_and_run(sink)

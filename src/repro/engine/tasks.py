@@ -49,15 +49,26 @@ from ..traces.types import Trace
 #: 3 = configurable window counters joined the population payload and
 #: the "pipetrace" task kind landed; 4 = default windows carry the
 #: stall-bucket counters (result schema 3) and "pipetrace" accepts an
-#: unbounded capture (``capacity=None``).
-ENGINE_SCHEMA_VERSION = 4
+#: unbounded capture (``capacity=None``); 5 = the "warmup" task kind
+#: landed (results are simulator checkpoint documents) and ``warmup``
+#: joined the population payload.
+ENGINE_SCHEMA_VERSION = 5
 
 
 def population_task(config: GenerationConfig, spec: TraceSpec,
                     corunners: int = 0,
                     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
                     window_counters: Optional[Sequence[str]] = None,
+                    warmup: int = 0,
                     ) -> Dict[str, Any]:
+    """One full-simulator run; ``warmup`` > 0 splits it into a cached
+    warmup-prefix checkpoint (see :func:`warmup_task`) plus a measure
+    phase resumed from that snapshot.  Results are bit-identical either
+    way — warmup only changes how the work is scheduled and cached."""
+    if not 0 <= warmup < spec.n_instructions:
+        raise ValueError(
+            f"warmup must be in [0, {spec.n_instructions}) for this "
+            f"trace, got {warmup}")
     return {
         "kind": "population",
         "config": config_to_dict(config),
@@ -66,6 +77,33 @@ def population_task(config: GenerationConfig, spec: TraceSpec,
         "window_interval": window_interval,
         "window_counters": (list(window_counters)
                             if window_counters is not None else None),
+        "warmup": warmup,
+    }
+
+
+def warmup_task(config: GenerationConfig, spec: TraceSpec,
+                corunners: int = 0,
+                window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
+                window_counters: Optional[Sequence[str]] = None,
+                warmup: int = 0,
+                ) -> Dict[str, Any]:
+    """Simulate the first ``warmup`` instructions and return the
+    simulator checkpoint document — the snapshot measure phases resume
+    from.  The window configuration rides along because the checkpoint
+    carries the (partially filled) window recorder."""
+    if not 0 < warmup < spec.n_instructions:
+        raise ValueError(
+            f"warmup must be in (0, {spec.n_instructions}) for this "
+            f"trace, got {warmup}")
+    return {
+        "kind": "warmup",
+        "config": config_to_dict(config),
+        "trace": spec.to_dict(),
+        "corunners": corunners,
+        "window_interval": window_interval,
+        "window_counters": (list(window_counters)
+                            if window_counters is not None else None),
+        "warmup": warmup,
     }
 
 
@@ -100,9 +138,15 @@ def ghist_task(spec: TraceSpec, ghist_bits: int, tables: int = 8,
 
 
 def task_fingerprint(payload: Dict[str, Any]) -> str:
-    """Stable SHA-256 over the canonical JSON of (payload, versions)."""
+    """Stable SHA-256 over the canonical JSON of (payload, versions).
+
+    Top-level keys starting with ``_`` are transport-only (data shipped
+    to the worker that is itself derived from the fingerprinted fields,
+    e.g. a warmup checkpoint) and are excluded from the hash.
+    """
     envelope = {
-        "payload": payload,
+        "payload": {k: v for k, v in payload.items()
+                    if not k.startswith("_")},
         "version": __version__,
         "schema": ENGINE_SCHEMA_VERSION,
     }
@@ -135,6 +179,41 @@ def _build_trace(spec_dict: Dict[str, Any]) -> Trace:
     return trace
 
 
+#: Per-process memo of warmup checkpoints, keyed by warmup-task
+#: fingerprint.  Serial runs and chunk-mates on one worker reuse the
+#: snapshot without re-simulating (or re-reading the result cache).
+_WARMUP_MEMO: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+_WARMUP_MEMO_CAP = 16
+
+
+def warmup_checkpoint(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The checkpoint for a warmup-task payload, via the process memo."""
+    fp = task_fingerprint(payload)
+    doc = _WARMUP_MEMO.get(fp)
+    if doc is None:
+        doc = _run_warmup_task(payload)
+        _WARMUP_MEMO[fp] = doc
+        while len(_WARMUP_MEMO) > _WARMUP_MEMO_CAP:
+            _WARMUP_MEMO.popitem(last=False)
+    else:
+        _WARMUP_MEMO.move_to_end(fp)
+    return doc
+
+
+def _run_warmup_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from ..core import GenerationSimulator
+
+    config = config_from_dict(payload["config"])
+    trace = _build_trace(payload["trace"])
+    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
+    sim.run(trace.slice(0, int(payload["warmup"])),
+            window_interval=payload.get(
+                "window_interval", DEFAULT_WINDOW_INSTRUCTIONS),
+            window_counters=payload.get("window_counters"),
+            finalize=False)
+    return sim.save_state()
+
+
 def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     from ..core import GenerationSimulator
     from ..core.interval import estimate_from_simulation
@@ -144,6 +223,18 @@ def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     trace = _build_trace(payload["trace"])
     sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
     counters = payload.get("window_counters")
+    warmup = int(payload.get("warmup", 0) or 0)
+    if warmup > 0:
+        # Resume the measure phase from the warmup-prefix snapshot; the
+        # engine ships it as a transport field when it already has it,
+        # otherwise the per-process memo builds (or reuses) it here.
+        state = payload.get("_warmup_state")
+        if state is None:
+            state = warmup_checkpoint(
+                {**{k: v for k, v in payload.items()
+                    if not k.startswith("_")}, "kind": "warmup"})
+        sim.restore(state)
+        trace = trace.slice(warmup)
     r = sim.run(trace,
                 window_interval=payload.get(
                     "window_interval", DEFAULT_WINDOW_INSTRUCTIONS),
@@ -204,6 +295,7 @@ _EXECUTORS = {
     "population": _run_population_task,
     "ghist": _run_ghist_task,
     "pipetrace": _run_pipetrace_task,
+    "warmup": _run_warmup_task,
 }
 
 
@@ -221,6 +313,8 @@ def task_label(payload: Dict[str, Any]) -> str:
                      f"x{spec.get('n_instructions', '?')}")
     if kind == "ghist":
         parts.append(f"ghist={payload.get('ghist_bits')}")
+    if payload.get("warmup"):
+        parts.append(f"warmup={payload['warmup']}")
     return " ".join(parts)
 
 

@@ -83,3 +83,47 @@ class RedirectAccelerator:
             if self._prev_entry.replicated_next_pc == successor.pc:
                 self._prev_entry.replicated_next_pc = None
                 self._prev_entry.replicated_next_target = None
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        # ``_prev_entry`` is a live reference into the BTB.  When the
+        # entry is still resident we record its PC and re-resolve on
+        # restore (after the BTB itself is restored) so the alias is
+        # re-established; when it has been evicted from every structure
+        # we carry its field values and rebuild a detached replica —
+        # learn_replication then writes to an unreachable object either
+        # way, matching the evicted-object semantics exactly.
+        prev = self._prev_entry
+        prev_state = None
+        if prev is not None:
+            detached = self.btb.find_entry(prev.pc) is not prev
+            prev_state = {
+                "pc": prev.pc,
+                "detached": detached,
+                "fields": (BTBHierarchy._entry_to_dict(prev)
+                           if detached else None),
+            }
+        return {
+            "prev_entry": prev_state,
+            "redirects_1at": self.redirects_1at,
+            "redirects_zat": self.redirects_zat,
+            "redirects_zot": self.redirects_zot,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        prev_state = state["prev_entry"]
+        if prev_state is None:
+            self._prev_entry = None
+        elif prev_state["detached"]:
+            self._prev_entry = BTBHierarchy._entry_from_dict(
+                prev_state["fields"])
+        else:
+            self._prev_entry = self.btb.find_entry(int(prev_state["pc"]))
+            if self._prev_entry is None:
+                raise ValueError(
+                    "checkpoint references a BTB entry the restored "
+                    "hierarchy does not hold")
+        self.redirects_1at = int(state["redirects_1at"])
+        self.redirects_zat = int(state["redirects_zat"])
+        self.redirects_zot = int(state["redirects_zot"])

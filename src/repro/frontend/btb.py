@@ -257,3 +257,110 @@ class BTBHierarchy:
     @property
     def l2btb_entry_count(self) -> int:
         return self.l2btb.entry_count
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def find_entry(self, pc: int) -> Optional[BTBEntry]:
+        """Locate the entry a lookup for ``pc`` would serve, without
+        touching LRU order or statistics (checkpoint restore helper)."""
+        line = self.mbtb.lines.get(self.line_base(pc))
+        if line is not None and pc in line:
+            return line[pc]
+        ventry = self.vbtb.get(pc)
+        if ventry is not None:
+            return ventry
+        l2line = self.l2btb.lines.get(self.line_base(pc))
+        if l2line is not None:
+            return l2line.get(pc)
+        return None
+
+    @staticmethod
+    def _entry_to_dict(entry: BTBEntry) -> dict[str, object]:
+        return {
+            "pc": entry.pc,
+            "target": entry.target,
+            "kind": int(entry.kind),
+            "taken_count": entry.taken_count,
+            "not_taken_count": entry.not_taken_count,
+            "built": entry.built,
+            "replicated_next_pc": entry.replicated_next_pc,
+            "replicated_next_target": entry.replicated_next_target,
+        }
+
+    @staticmethod
+    def _entry_from_dict(data: dict[str, object]) -> BTBEntry:
+        return BTBEntry(
+            pc=int(data["pc"]),
+            target=int(data["target"]),
+            kind=Kind(int(data["kind"])),
+            taken_count=int(data["taken_count"]),
+            not_taken_count=int(data["not_taken_count"]),
+            built=bool(data["built"]),
+            replicated_next_pc=(
+                int(data["replicated_next_pc"])
+                if data["replicated_next_pc"] is not None else None),
+            replicated_next_target=(
+                int(data["replicated_next_target"])
+                if data["replicated_next_target"] is not None else None),
+        )
+
+    def state_dict(self) -> dict[str, object]:
+        # Entry objects are SHARED between mBTB and L2BTB lines
+        # (install_line copies the line dict shallowly), and that
+        # aliasing is architectural: training through one location is
+        # visible at the other.  Serialize a deduplicated entry pool
+        # plus per-structure references into it, so restore rebuilds
+        # the exact sharing graph.
+        pool: List[BTBEntry] = []
+        index: Dict[int, int] = {}
+
+        def ref(entry: BTBEntry) -> int:
+            key = id(entry)
+            if key not in index:
+                index[key] = len(pool)
+                pool.append(entry)
+            return index[key]
+
+        def store_lines(store: _LineStore) -> List[list[object]]:
+            return [[base, [[pc, ref(e)] for pc, e in line.items()]]
+                    for base, line in store.lines.items()]
+
+        mbtb = store_lines(self.mbtb)
+        l2btb = store_lines(self.l2btb)
+        vbtb = [[pc, ref(e)] for pc, e in self.vbtb.items()]
+        return {
+            "entries": [self._entry_to_dict(e) for e in pool],
+            "mbtb": mbtb,
+            "l2btb": l2btb,
+            "vbtb": vbtb,
+            "empty_lines": [base for base in self._empty_lines],
+            "hits_mbtb": self.hits_mbtb,
+            "hits_vbtb": self.hits_vbtb,
+            "hits_l2btb": self.hits_l2btb,
+            "misses": self.misses,
+            "spills_to_vbtb": self.spills_to_vbtb,
+            "l2btb_fills": self.l2btb_fills,
+            "empty_line_skips": self.empty_line_skips,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        pool = [self._entry_from_dict(d) for d in state["entries"]]
+
+        def load_store(store: _LineStore, lines: List[list[object]]) -> None:
+            store.lines = OrderedDict(
+                (int(base), {int(pc): pool[int(i)] for pc, i in refs})
+                for base, refs in lines)
+
+        load_store(self.mbtb, state["mbtb"])
+        load_store(self.l2btb, state["l2btb"])
+        self.vbtb = OrderedDict(
+            (int(pc), pool[int(i)]) for pc, i in state["vbtb"])
+        self._empty_lines = OrderedDict(
+            (int(base), True) for base in state["empty_lines"])
+        self.hits_mbtb = int(state["hits_mbtb"])
+        self.hits_vbtb = int(state["hits_vbtb"])
+        self.hits_l2btb = int(state["hits_l2btb"])
+        self.misses = int(state["misses"])
+        self.spills_to_vbtb = int(state["spills_to_vbtb"])
+        self.l2btb_fills = int(state["l2btb_fills"])
+        self.empty_line_skips = int(state["empty_line_skips"])

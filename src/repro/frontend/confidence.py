@@ -37,3 +37,14 @@ class ConfidenceEstimator:
             self.counters[i] = min(self.ceiling, self.counters[i] + 1)
         else:
             self.counters[i] = 0
+
+    def state_dict(self) -> dict[str, object]:
+        return {"counters": list(self.counters)}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        counters = list(state["counters"])
+        if len(counters) != self.entries:
+            raise ValueError(
+                f"confidence table size mismatch: checkpoint has "
+                f"{len(counters)} counters, this config {self.entries}")
+        self.counters = counters

@@ -108,6 +108,12 @@ class GlobalHistory:
     def restore(self, snap: int) -> None:
         self.value = snap & self._mask
 
+    def state_dict(self) -> dict[str, object]:
+        return {"value": self.value}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.restore(int(state["value"]))
+
 
 class PathHistory:
     """PHIST: three address bits (bits 2..4) per encountered branch."""
@@ -134,6 +140,12 @@ class PathHistory:
 
     def restore(self, snap: int) -> None:
         self.value = snap & self._mask
+
+    def state_dict(self) -> dict[str, object]:
+        return {"value": self.value}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.restore(int(state["value"]))
 
 
 class IndirectTargetHistory:
@@ -167,3 +179,9 @@ class IndirectTargetHistory:
 
     def restore(self, snap: int) -> None:
         self.value = snap & self._mask
+
+    def state_dict(self) -> dict[str, object]:
+        return {"value": self.value}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.restore(int(state["value"]))

@@ -72,6 +72,25 @@ class LocalHashedPerceptron:
         mask = (1 << self.local_bits) - 1
         self._local[slot] = ((lhist << 1) | (1 if taken else 0)) & mask
 
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "tables": [list(t) for t in self.tables],
+            "local": to_pairs(self._local),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        from ..state import dict_from_pairs
+
+        tables = [list(t) for t in state["tables"]]
+        if len(tables) != self.n_tables or \
+                any(len(t) != self.rows for t in tables):
+            raise ValueError("LHP table geometry mismatch vs checkpoint")
+        self.tables = tables
+        self._local = {int(k): int(v)
+                       for k, v in dict_from_pairs(state["local"]).items()}
+
     @property
     def storage_bits(self) -> int:
         weight_bits = self.n_tables * self.rows * 6

@@ -105,3 +105,37 @@ class MispredictRecoveryBuffer:
         # Mismatch cancels the rest of the replay.
         self._replay_pos = len(self._replay)
         return False
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "table": to_pairs(self._table),
+            "recording_pc": self._recording_pc,
+            "recording": list(self._recording),
+            "replay": list(self._replay),
+            "replay_pos": self._replay_pos,
+            "allocations": self.allocations,
+            "replays": self.replays,
+            "replay_hits": self.replay_hits,
+            "replay_misses": self.replay_misses,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        from collections import OrderedDict
+
+        table: "OrderedDict[int, List[int]]" = OrderedDict()
+        for pc, seq in state["table"]:
+            table[int(pc)] = [int(a) for a in seq]
+        self._table = table
+        rec_pc = state["recording_pc"]
+        self._recording_pc = int(rec_pc) if rec_pc is not None else None
+        self._recording = [int(a) for a in state["recording"]]
+        self._replay = [int(a) for a in state["replay"]]
+        self._replay_pos = int(state["replay_pos"])
+        self.allocations = int(state["allocations"])
+        self.replays = int(state["replays"])
+        self.replay_hits = int(state["replay_hits"])
+        self.replay_misses = int(state["replay_misses"])

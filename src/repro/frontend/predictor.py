@@ -499,6 +499,43 @@ class BranchUnit:
         return BranchResult(mispredicted=mispredicted, bubbles=bubbles,
                             mrb_assisted=mrb_assisted, path="main")
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Aggregate front-end state: every predictor structure plus the
+        unit's own learning couplers.  The ``frontend.*`` counters live
+        in the metric registry and are checkpointed there."""
+        return {
+            "shp": self.shp.state_dict(),
+            "btb": self.btb.state_dict(),
+            "ubtb": self.ubtb.state_dict(),
+            "ras": self.ras.state_dict(),
+            "vpc": self.vpc.state_dict(),
+            "accel": self.accel.state_dict(),
+            "confidence": self.confidence.state_dict(),
+            "mrb": self.mrb.state_dict(),
+            "prev_taken": self._prev_taken,
+            "prev_line": self._prev_line,
+            "arbiter_suppressions": self.arbiter_suppressions,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore in place.  The structures are loaded rather than
+        replaced, so bound gauges and the VPC's shared-SHP alias stay
+        wired; the BTB loads before the accelerator so the latter can
+        re-resolve its live entry reference."""
+        self.shp.load_state_dict(state["shp"])
+        self.btb.load_state_dict(state["btb"])
+        self.ubtb.load_state_dict(state["ubtb"])
+        self.ras.load_state_dict(state["ras"])
+        self.vpc.load_state_dict(state["vpc"])
+        self.accel.load_state_dict(state["accel"])
+        self.confidence.load_state_dict(state["confidence"])
+        self.mrb.load_state_dict(state["mrb"])
+        self._prev_taken = bool(state["prev_taken"])
+        self._prev_line = int(state["prev_line"])
+        self.arbiter_suppressions = int(state["arbiter_suppressions"])
+
     # -- trace-level driver ------------------------------------------------------------
 
     def run_trace(self, trace: Trace) -> BranchStats:

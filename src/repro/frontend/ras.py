@@ -64,6 +64,30 @@ class ReturnAddressStack:
         self._encrypt = encrypt
         self._decrypt = decrypt
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        # The stack is stored in its (possibly encrypted) at-rest form;
+        # ciphers are configuration, not state — a restore target must be
+        # built with the same CONTEXT_HASH for targets to decrypt.
+        return {
+            "stack": list(self._stack),
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "underflows": self.underflows,
+            "overflows": self.overflows,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        stack = [int(v) for v in state["stack"]]
+        if len(stack) > self.entries:
+            raise ValueError("RAS checkpoint deeper than this stack")
+        self._stack = stack
+        self.pushes = int(state["pushes"])
+        self.pops = int(state["pops"])
+        self.underflows = int(state["underflows"])
+        self.overflows = int(state["overflows"])
+
     @property
     def depth(self) -> int:
         return len(self._stack)

@@ -216,6 +216,45 @@ class ScaledHashedPerceptron:
         self.ghist.restore(snap[0])
         self.phist.restore(snap[1])
 
+    # -- checkpointing (the whole-predictor state_dict protocol) --------------
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "ghist": self.ghist.state_dict(),
+            "phist": self.phist.state_dict(),
+            "tables": [list(t) for t in self.tables],
+            "theta": self.theta,
+            "theta_counter": self._theta_counter,
+            "bias": to_pairs(self._bias),
+            "seen_not_taken": to_pairs(self._seen_not_taken),
+            "lookups": self.lookups,
+            "updates": self.updates,
+            "filtered_lookups": self.filtered_lookups,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        from ..state import dict_from_pairs
+
+        tables = [list(t) for t in state["tables"]]
+        if len(tables) != self.n_tables or \
+                any(len(t) != self.rows for t in tables):
+            raise ValueError("SHP table geometry mismatch vs checkpoint")
+        self.ghist.load_state_dict(state["ghist"])
+        self.phist.load_state_dict(state["phist"])
+        self.tables = tables
+        self.theta = int(state["theta"])
+        self._theta_counter = int(state["theta_counter"])
+        self._bias = {int(k): int(v)
+                      for k, v in dict_from_pairs(state["bias"]).items()}
+        self._seen_not_taken = {
+            int(k): bool(v)
+            for k, v in dict_from_pairs(state["seen_not_taken"]).items()}
+        self.lookups = int(state["lookups"])
+        self.updates = int(state["updates"])
+        self.filtered_lookups = int(state["filtered_lookups"])
+
     # -- accounting -------------------------------------------------------------
 
     @property

@@ -244,3 +244,76 @@ class MicroBTB:
     @property
     def node_count(self) -> int:
         return len(self.nodes) + len(self.uncond_nodes)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    @staticmethod
+    def _node_to_dict(node: UBTBNode) -> dict[str, object]:
+        return {
+            "pc": node.pc,
+            "kind": int(node.kind),
+            "taken_edge": node.taken_edge,
+            "not_taken_edge": node.not_taken_edge,
+            "taken_target": node.taken_target,
+            "visits": node.visits,
+            "confidence": node.confidence,
+            "lhp_misses": node.lhp_misses,
+        }
+
+    @staticmethod
+    def _node_from_dict(data: dict[str, object]) -> UBTBNode:
+        return UBTBNode(
+            pc=int(data["pc"]),
+            kind=Kind(int(data["kind"])),
+            taken_edge=(int(data["taken_edge"])
+                        if data["taken_edge"] is not None else None),
+            not_taken_edge=(int(data["not_taken_edge"])
+                            if data["not_taken_edge"] is not None else None),
+            taken_target=int(data["taken_target"]),
+            visits=int(data["visits"]),
+            confidence=int(data["confidence"]),
+            lhp_misses=int(data["lhp_misses"]),
+        )
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "nodes": [self._node_to_dict(n) for n in self.nodes.values()],
+            "uncond_nodes": [self._node_to_dict(n)
+                             for n in self.uncond_nodes.values()],
+            "lhp": self.lhp.state_dict(),
+            "locked": self.locked,
+            "streak": self._streak,
+            "prev": list(self._prev) if self._prev is not None else None,
+            "lock_events": self.lock_events,
+            "unlock_events": self.unlock_events,
+            "locked_predictions": self.locked_predictions,
+            "locked_mispredicts": self.locked_mispredicts,
+            "gated_lookups": self.gated_lookups,
+            "episode_lengths": list(self.episode_lengths),
+            "lock_branches": self._lock_branches,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        nodes: "OrderedDict[int, UBTBNode]" = OrderedDict()
+        for data in state["nodes"]:
+            node = self._node_from_dict(data)
+            nodes[node.pc] = node
+        uncond: "OrderedDict[int, UBTBNode]" = OrderedDict()
+        for data in state["uncond_nodes"]:
+            node = self._node_from_dict(data)
+            uncond[node.pc] = node
+        self.nodes = nodes
+        self.uncond_nodes = uncond
+        self.lhp.load_state_dict(state["lhp"])
+        self.locked = bool(state["locked"])
+        self._streak = int(state["streak"])
+        prev = state["prev"]
+        self._prev = ((int(prev[0]), bool(prev[1]))
+                      if prev is not None else None)
+        self.lock_events = int(state["lock_events"])
+        self.unlock_events = int(state["unlock_events"])
+        self.locked_predictions = int(state["locked_predictions"])
+        self.locked_mispredicts = int(state["locked_mispredicts"])
+        self.gated_lookups = int(state["gated_lookups"])
+        self.episode_lengths = [int(v) for v in state["episode_lengths"]]
+        self._lock_branches = int(state["lock_branches"])

@@ -273,3 +273,47 @@ class VPCPredictor:
 
     def chain_length(self, pc: int) -> int:
         return len(self.chains.get(pc, ()))
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        # The SHP is shared with (and checkpointed by) the branch unit;
+        # only VPC-owned state is captured here.  The hash table's
+        # ``history`` reference is the shared ``target_history`` object,
+        # which is restored in place so the alias survives.
+        from ..state import to_pairs
+
+        return {
+            "chains": [[pc, list(chain)]
+                       for pc, chain in self.chains.items()],
+            "spilled_slots": self._spilled_slots,
+            "spill_lru": list(self._spill_lru),
+            "target_history": self.target_history.state_dict(),
+            "hash_table": (to_pairs(self.hash_table.table)
+                           if self.hash_table is not None else None),
+            "predictions": self.predictions,
+            "vpc_hits": self.vpc_hits,
+            "hash_hits": self.hash_hits,
+            "chain_overflows": self.chain_overflows,
+            "vbtb_chain_evictions": self.vbtb_chain_evictions,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.chains = {int(pc): [int(t) for t in chain]
+                       for pc, chain in state["chains"]}
+        self._spilled_slots = int(state["spilled_slots"])
+        self._spill_lru = [int(pc) for pc in state["spill_lru"]]
+        self.target_history.load_state_dict(state["target_history"])
+        table_state = state["hash_table"]
+        if (table_state is None) != (self.hash_table is None):
+            raise ValueError("hybrid hash-table presence mismatch vs "
+                             "checkpoint")
+        if self.hash_table is not None:
+            self.hash_table.table = {
+                int(idx): (int(tag), int(target), int(conf))
+                for idx, (tag, target, conf) in table_state}
+        self.predictions = int(state["predictions"])
+        self.vpc_hits = int(state["vpc_hits"])
+        self.hash_hits = int(state["hash_hits"])
+        self.chain_overflows = int(state["chain_overflows"])
+        self.vbtb_chain_evictions = int(state["vbtb_chain_evictions"])

@@ -170,3 +170,53 @@ class SetAssocCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "sets": [
+                [[sector, {
+                    "address": line.address,
+                    "valid_mask": line.valid_mask,
+                    "dirty": line.dirty,
+                    "prefetched": line.prefetched,
+                    "accessed": line.accessed,
+                    "hit_count": line.hit_count,
+                    "reallocated": line.reallocated,
+                    "rrpv": line.rrpv,
+                }] for sector, line in s.items()]
+                for s in self._sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "prefetch_fills": self.prefetch_fills,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: checkpoint has {len(sets)} sets, this "
+                f"geometry {self.num_sets}")
+        rebuilt: List["OrderedDict[int, CacheLine]"] = []
+        for s in sets:
+            out: "OrderedDict[int, CacheLine]" = OrderedDict()
+            for sector, d in s:
+                out[int(sector)] = CacheLine(
+                    address=int(d["address"]),
+                    valid_mask=int(d["valid_mask"]),
+                    dirty=bool(d["dirty"]),
+                    prefetched=bool(d["prefetched"]),
+                    accessed=bool(d["accessed"]),
+                    hit_count=int(d["hit_count"]),
+                    reallocated=bool(d["reallocated"]),
+                    rrpv=int(d["rrpv"]),
+                )
+            rebuilt.append(out)
+        self._sets = rebuilt
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.evictions = int(state["evictions"])
+        self.prefetch_fills = int(state["prefetch_fills"])

@@ -61,6 +61,18 @@ class CoordinatedPolicy:
         self.bypassed += 1
         return CastoutDecision(allocate=False, elevated=False)
 
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "elevated": self.elevated,
+            "ordinary": self.ordinary,
+            "bypassed": self.bypassed,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.elevated = int(state["elevated"])
+        self.ordinary = int(state["ordinary"])
+        self.bypassed = int(state["bypassed"])
+
     @staticmethod
     def mark_reallocated(line: CacheLine) -> None:
         """Tag a line swapping back inward from the L3: its next castout

@@ -84,3 +84,30 @@ class DramModel:
     def page_hit_rate(self) -> float:
         total = self.page_hits + self.page_misses
         return self.page_hits / total if total else 0.0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "open_row": to_pairs(self._open_row),
+            "pending_activates": to_pairs(self._pending_activates),
+            "accesses": self.accesses,
+            "page_hits": self.page_hits,
+            "page_misses": self.page_misses,
+            "early_activates_honored": self.early_activates_honored,
+            "early_activates_ignored": self.early_activates_ignored,
+            "outstanding": self.outstanding,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._open_row = {int(b): int(r) for b, r in state["open_row"]}
+        self._pending_activates = {
+            int(b): int(r) for b, r in state["pending_activates"]}
+        self.accesses = int(state["accesses"])
+        self.page_hits = int(state["page_hits"])
+        self.page_misses = int(state["page_misses"])
+        self.early_activates_honored = int(state["early_activates_honored"])
+        self.early_activates_ignored = int(state["early_activates_ignored"])
+        self.outstanding = int(state["outstanding"])

@@ -462,6 +462,65 @@ class MemoryHierarchy:
                     seq=-1, cycle=now, addr=buddy_line, engine="buddy",
                     target_level="l2", from_dram=from_dram))
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # The registry (``mem.*`` counters) and the energy ledger are owned and
+    # checkpointed by the simulator; every structure here is restored IN
+    # PLACE so the gauges bound in `_bind_structure_gauges` keep reading
+    # the same objects.
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "l3": self.l3.state_dict() if self.l3 is not None else None,
+            "tlb": self.tlb.state_dict(),
+            "mab": self.mab.state_dict(),
+            "dram": self.dram.state_dict(),
+            "directory": self.directory.state_dict(),
+            "path": self.path.state_dict(),
+            "coordinated": self.coordinated.state_dict(),
+            "stride": self.stride.state_dict(),
+            "reorder": self.reorder.state_dict(),
+            "two_pass": self.two_pass.state_dict(),
+            "sms": self.sms.state_dict() if self.sms is not None else None,
+            "buddy": (self.buddy.state_dict()
+                      if self.buddy is not None else None),
+            "standalone": (self.standalone.state_dict()
+                           if self.standalone is not None else None),
+            "inflight": [[addr, ready, staged]
+                         for addr, (ready, staged)
+                         in self._inflight.items()],
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        for attr, key in (("l3", "l3"), ("sms", "sms"), ("buddy", "buddy"),
+                          ("standalone", "standalone")):
+            if (state[key] is None) != (getattr(self, attr) is None):
+                raise ValueError(
+                    f"memory hierarchy: {attr} presence mismatch vs "
+                    f"checkpoint")
+        self.l1.load_state_dict(state["l1"])
+        self.l2.load_state_dict(state["l2"])
+        if self.l3 is not None:
+            self.l3.load_state_dict(state["l3"])
+        self.tlb.load_state_dict(state["tlb"])
+        self.mab.load_state_dict(state["mab"])
+        self.dram.load_state_dict(state["dram"])
+        self.directory.load_state_dict(state["directory"])
+        self.path.load_state_dict(state["path"])
+        self.coordinated.load_state_dict(state["coordinated"])
+        self.stride.load_state_dict(state["stride"])
+        self.reorder.load_state_dict(state["reorder"])
+        self.two_pass.load_state_dict(state["two_pass"])
+        if self.sms is not None:
+            self.sms.load_state_dict(state["sms"])
+        if self.buddy is not None:
+            self.buddy.load_state_dict(state["buddy"])
+        if self.standalone is not None:
+            self.standalone.load_state_dict(state["standalone"])
+        self._inflight = {int(addr): (float(ready), float(staged))
+                          for addr, ready, staged in state["inflight"]}
+
     def _issue_lower_prefetch(self, paddr: int, now: float) -> None:
         """Standalone-prefetcher fill into the lower-level caches."""
         self.stats.prefetches_issued += 1

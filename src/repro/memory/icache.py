@@ -86,3 +86,23 @@ class InstructionCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # ``memory`` is a reference to the unified hierarchy, checkpointed by
+    # its owner.
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "l1i": self.l1i.state_dict(),
+            "itlb": self.itlb.state_dict(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "fill_stall_cycles": self.fill_stall_cycles,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.l1i.load_state_dict(state["l1i"])
+        self.itlb.load_state_dict(state["itlb"])
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.fill_stall_cycles = float(state["fill_stall_cycles"])

@@ -48,6 +48,20 @@ class SnoopFilterDirectory:
         self.lookups += 1
         return line_addr in self._present
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "present": sorted(self._present),
+            "lookups": self.lookups,
+            "cancels": self.cancels,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._present = {int(a) for a in state["present"]}
+        self.lookups = int(state["lookups"])
+        self.cancels = int(state["cancels"])
+
 
 @dataclass
 class DramPathResult:
@@ -129,3 +143,16 @@ class MemoryPath:
             self.directory.cancels += 1
             return True
         return False
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        # The directory is owned (and restored) by the hierarchy.
+        return {
+            "speculative_reads": self.speculative_reads,
+            "speculative_cancels": self.speculative_cancels,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.speculative_reads = int(state["speculative_reads"])
+        self.speculative_cancels = int(state["speculative_cancels"])

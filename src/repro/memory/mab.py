@@ -64,3 +64,20 @@ class MissBufferPool:
     @property
     def occupancy(self) -> int:
         return len(self._inflight)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "inflight": [[ready, addr] for ready, addr in self._inflight],
+            "allocations": self.allocations,
+            "stalls": self.stalls,
+            "stall_cycles": self.stall_cycles,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._inflight = [(float(ready), int(addr))
+                          for ready, addr in state["inflight"]]
+        self.allocations = int(state["allocations"])
+        self.stalls = int(state["stalls"])
+        self.stall_cycles = float(state["stall_cycles"])

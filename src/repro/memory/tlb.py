@@ -66,6 +66,26 @@ class Tlb:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "sets": [[key for key in s] for s in self._sets],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: checkpoint has {len(sets)} sets, this "
+                f"geometry {self.num_sets}")
+        self._sets = [OrderedDict((int(key), True) for key in s)
+                      for s in sets]
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+
 
 @dataclass
 class TranslationResult:
@@ -114,3 +134,22 @@ class TranslationHierarchy:
             self.l15.fill(addr)
         else:
             self.l1.fill(addr)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "l1": self.l1.state_dict(),
+            "l15": self.l15.state_dict() if self.l15 is not None else None,
+            "l2": self.l2.state_dict(),
+            "walks": self.walks,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if (state["l15"] is None) != (self.l15 is None):
+            raise ValueError("L1.5 TLB presence mismatch vs checkpoint")
+        self.l1.load_state_dict(state["l1"])
+        if self.l15 is not None:
+            self.l15.load_state_dict(state["l15"])
+        self.l2.load_state_dict(state["l2"])
+        self.walks = int(state["walks"])

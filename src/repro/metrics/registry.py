@@ -234,6 +234,20 @@ class MetricRegistry:
                 values[name] = formula.evaluate(values)
         return values
 
+    # -- checkpointing (state_dict protocol) ----------------------------
+    # Only counters are state: gauges read through live structures and
+    # formulas are pure functions — both rebuild at construction.
+
+    def state_dict(self) -> dict[str, object]:
+        return {"counters": {name: cell.value
+                             for name, cell in self._counters.items()}}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        for name, value in state["counters"].items():
+            # int-vs-float matters: counters stay integral under integer
+            # adds, and JSON preserves the distinction — assign as-is.
+            self.counter(name).value = value
+
     def dump(self, derived: bool = True) -> str:
         """Hierarchical text rendering (gem5 ``stats.txt`` flavour)."""
         values = self.as_dict(derived=derived)

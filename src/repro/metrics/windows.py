@@ -183,6 +183,33 @@ class WindowRecorder:
         self.take()
         return self.windows
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # ``interval`` and ``counters`` ride along so the owner can rebuild a
+    # matching recorder against the restored registry before loading.
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "interval": self.interval,
+            "counters": list(self.counters),
+            "windows": [w.to_dict() for w in self.windows],
+            "prev": dict(self._prev),
+            "last_boundary": self._last_boundary,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if int(state["interval"]) != self.interval:
+            raise ValueError(
+                f"window recorder: interval {self.interval} != checkpoint "
+                f"{state['interval']}")
+        if tuple(state["counters"]) != self.counters:
+            raise ValueError(
+                "window recorder: counter set differs from checkpoint")
+        self.windows = [WindowSample.from_dict(w)
+                        for w in state["windows"]]
+        self._prev = {str(name): value
+                      for name, value in state["prev"].items()}
+        self._last_boundary = int(state["last_boundary"])
+
 
 def window_metric_series(windows: Sequence[WindowSample], attr: str,
                          warmup: int = 0) -> List[float]:

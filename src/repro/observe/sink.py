@@ -83,6 +83,20 @@ class TraceSink:
     def __len__(self) -> int:
         return len(self._buffer)
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # Only the sequence counter is state: a restored sink starts with an
+    # empty buffer but continues numbering where the saved run stopped,
+    # so the pre-checkpoint stream concatenated with the post-restore
+    # stream is byte-identical to an uninterrupted run's stream.
+
+    def state_dict(self) -> dict[str, object]:
+        return {"emitted": self.emitted}
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.emitted = int(state["emitted"])
+        self._buffer = []
+        self._head = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TraceSink(capacity={self.capacity}, "
                 f"emitted={self.emitted}, dropped={self.dropped})")

@@ -35,6 +35,7 @@ deprecated spelling (``docs/observability.md``).
 from __future__ import annotations
 
 import contextlib
+import gzip
 import json
 import os
 from typing import (Any, Dict, Iterable, Iterator, List, Optional,
@@ -54,6 +55,7 @@ DEFAULT_CHUNK_EVENTS = 16384
 
 MANIFEST_NAME = "manifest.json"
 _CHUNK_TEMPLATE = "trace-{:06d}.jsonl"
+_CHUNK_TEMPLATE_GZ = "trace-{:06d}.jsonl.gz"
 
 
 class StreamingTraceSink:
@@ -67,16 +69,24 @@ class StreamingTraceSink:
 
     ``meta`` (generation name, trace spec, ...) is carried verbatim
     into the manifest for later identification; it must be JSON-safe.
+
+    ``compress=True`` gzips each chunk (``trace-NNNNNN.jsonl.gz``, with
+    a zeroed mtime so the bytes stay deterministic); the manifest's
+    ``codec`` records which form the chunks take, and the readers open
+    either transparently.  ``zcat trace-*.jsonl.gz`` remains a valid
+    event stream — gzip members concatenate.
     """
 
     def __init__(self, directory: Union[str, os.PathLike],
                  chunk_events: int = DEFAULT_CHUNK_EVENTS,
-                 meta: Optional[Dict[str, Any]] = None) -> None:
+                 meta: Optional[Dict[str, Any]] = None,
+                 compress: bool = False) -> None:
         if chunk_events <= 0:
             raise ValueError("chunk_events must be positive")
         self.directory = os.fspath(directory)
         self.chunk_events = int(chunk_events)
         self.meta = dict(meta) if meta else {}
+        self.compress = bool(compress)
         #: Total events emitted into the stream.
         self.emitted = 0
         #: Interface parity with TraceSink; streaming never drops.
@@ -108,8 +118,13 @@ class StreamingTraceSink:
     def _flush_chunk(self) -> None:
         if not self._buffer:
             return
-        name = _CHUNK_TEMPLATE.format(len(self._chunks) + 1)
+        template = _CHUNK_TEMPLATE_GZ if self.compress else _CHUNK_TEMPLATE
+        name = template.format(len(self._chunks) + 1)
         data = (events_to_jsonl(self._buffer) + "\n").encode("utf-8")
+        if self.compress:
+            # mtime=0 keeps the compressed bytes a pure function of the
+            # event stream (the gzip header embeds a timestamp).
+            data = gzip.compress(data, mtime=0)
         with open(os.path.join(self.directory, name), "wb") as f:
             f.write(data)
         self._chunks.append({
@@ -128,6 +143,7 @@ class StreamingTraceSink:
         return {
             "schema": STREAM_SCHEMA_VERSION,
             "chunk_events": self.chunk_events,
+            "codec": "gzip" if self.compress else "jsonl",
             "events": self.emitted,
             "dropped": self.dropped,
             "bytes": self._offset,
@@ -166,6 +182,15 @@ class StreamingTraceSink:
 # Reading a persisted stream back
 # ---------------------------------------------------------------------------
 
+def _read_chunk_text(path: str) -> str:
+    """One chunk file's JSONL text, plain or gzipped (by extension)."""
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            return f.read()
+    with open(path) as f:
+        return f.read()
+
+
 def read_manifest(directory: Union[str, os.PathLike]) -> Dict[str, Any]:
     """Load and validate a stream directory's ``manifest.json``."""
     path = os.path.join(os.fspath(directory), MANIFEST_NAME)
@@ -198,8 +223,8 @@ def iter_stream_events(directory: Union[str, os.PathLike], *,
     for entry in manifest["chunks"]:
         if entry["last_seq"] < start_seq:
             continue  # whole chunk predates the seek point: never opened
-        with open(os.path.join(directory, entry["file"])) as f:
-            events = events_from_jsonl(f.read())
+        events = events_from_jsonl(
+            _read_chunk_text(os.path.join(directory, entry["file"])))
         if len(events) != entry["events"]:
             raise ValueError(
                 f"chunk {entry['file']} holds {len(events)} events, "
@@ -247,13 +272,15 @@ TraceTarget = Union[None, str, os.PathLike, TraceSink, StreamingTraceSink]
 @contextlib.contextmanager
 def trace(target: TraceTarget = None, *,
           chunk_events: int = DEFAULT_CHUNK_EVENTS,
-          meta: Optional[Dict[str, Any]] = None):
+          meta: Optional[Dict[str, Any]] = None,
+          compress: bool = False):
     """Context manager yielding the right sink for ``target``.
 
     - ``None`` — an unbounded in-memory :class:`TraceSink` (read
       ``sink.events()`` / ``result.events`` afterwards);
     - a directory path — a :class:`StreamingTraceSink` writing chunked
-      JSONL + manifest there (closed on exit);
+      JSONL + manifest there (closed on exit; ``compress=True`` gzips
+      the chunks);
     - a ``*.jsonl`` path — in-memory capture, written as one flat
       sorted-key JSONL file on exit;
     - an existing sink — passed through (a ``StreamingTraceSink`` is
@@ -296,7 +323,7 @@ def trace(target: TraceTarget = None, *,
                 f.write(text + "\n" if text else text)
         return
     streaming = StreamingTraceSink(path, chunk_events=chunk_events,
-                                   meta=meta)
+                                   meta=meta, compress=compress)
     try:
         yield streaming
     finally:

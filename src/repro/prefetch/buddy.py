@@ -80,3 +80,30 @@ class BuddyPrefetcher:
             self.enables += 1
         self._issued_window = 0
         self._useful_window = 0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "issued_window": self._issued_window,
+            "useful_window": self._useful_window,
+            "probe_countdown": self._probe_countdown,
+            "outstanding": list(self._outstanding),
+            "issued": self.issued,
+            "useful": self.useful,
+            "disables": self.disables,
+            "enables": self.enables,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.enabled = bool(state["enabled"])
+        self._issued_window = int(state["issued_window"])
+        self._useful_window = int(state["useful_window"])
+        self._probe_countdown = int(state["probe_countdown"])
+        self._outstanding = OrderedDict(
+            (int(a), True) for a in state["outstanding"])
+        self.issued = int(state["issued"])
+        self.useful = int(state["useful"])
+        self.disables = int(state["disables"])
+        self.enables = int(state["enables"])

@@ -47,6 +47,21 @@ class ConfirmationQueue:
     def occupancy(self) -> int:
         return len(self._queue)
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "queue": list(self._queue),
+            "confirmations": self.confirmations,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._queue = deque((int(a) for a in state["queue"]),
+                            maxlen=self.capacity)
+        self.confirmations = int(state["confirmations"])
+        self.misses = int(state["misses"])
+
 
 class IntegratedConfirmationQueue:
     """Pattern-driven expected-demand queue (US 10,387,320).
@@ -95,3 +110,21 @@ class IntegratedConfirmationQueue:
     @property
     def expected(self) -> List[int]:
         return list(self._expected)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # ``advance`` is configuration (a bound pattern generator), not state.
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "expected": list(self._expected),
+            "frontier": self._frontier,
+            "confirmations": self.confirmations,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._expected = deque(int(a) for a in state["expected"])
+        frontier = state["frontier"]
+        self._frontier = int(frontier) if frontier is not None else None
+        self.confirmations = int(state["confirmations"])
+        self.misses = int(state["misses"])

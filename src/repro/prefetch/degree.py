@@ -49,3 +49,21 @@ class DynamicDegree:
         self.degree = self.min_degree
         self._window_confirms = 0
         self._window_events = 0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "degree": self.degree,
+            "window_confirms": self._window_confirms,
+            "window_events": self._window_events,
+            "raises": self.raises,
+            "lowers": self.lowers,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.degree = int(state["degree"])
+        self._window_confirms = int(state["window_confirms"])
+        self._window_events = int(state["window_events"])
+        self.raises = int(state["raises"])
+        self.lowers = int(state["lowers"])

@@ -88,3 +88,31 @@ class AddressReorderBuffer:
     @property
     def occupancy(self) -> int:
         return len(self._pending)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "pending": to_pairs(self._pending),
+            "pending_lines": to_pairs(self._pending_lines),
+            "recent": list(self._recent),
+            "next_release": self._next_release,
+            "next_seq": self._next_seq,
+            "inserted": self.inserted,
+            "deduped": self.deduped,
+            "overflow_releases": self.overflow_releases,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._pending = {int(seq): int(line)
+                         for seq, line in state["pending"]}
+        self._pending_lines = {int(line): int(count)
+                               for line, count in state["pending_lines"]}
+        self._recent = [int(a) for a in state["recent"]]
+        self._next_release = int(state["next_release"])
+        self._next_seq = int(state["next_seq"])
+        self.inserted = int(state["inserted"])
+        self.deduped = int(state["deduped"])
+        self.overflow_releases = int(state["overflow_releases"])

@@ -141,3 +141,34 @@ class SmsPrefetcher:
         while self._active:
             _, region = self._active.popitem(last=False)
             self._commit(region)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "active": [[base, region.primary_pc,
+                        sorted(region.offsets)]
+                       for base, region in self._active.items()],
+            "patterns": [[pc, to_pairs(pat)]
+                         for pc, pat in self._patterns.items()],
+            "suppressed": self.suppressed,
+            "trainings": self.trainings,
+            "issued_l1": self.issued_l1,
+            "issued_l2": self.issued_l2,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._active = OrderedDict()
+        for base, primary_pc, offsets in state["active"]:
+            self._active[int(base)] = _ActiveRegion(
+                primary_pc=int(primary_pc), base=int(base),
+                offsets={int(off): True for off in offsets})
+        self._patterns = OrderedDict(
+            (int(pc), {int(off): int(conf) for off, conf in pat})
+            for pc, pat in state["patterns"])
+        self.suppressed = int(state["suppressed"])
+        self.trainings = int(state["trainings"])
+        self.issued_l1 = int(state["issued_l1"])
+        self.issued_l2 = int(state["issued_l2"])

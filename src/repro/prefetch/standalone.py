@@ -180,3 +180,45 @@ class StandalonePrefetcher:
             self._filter_matches = 0
         self._window_issued = 0
         self._window_useful = 0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "streams": [[page, s.last_line, s.delta, s.run, s.lru]
+                        for page, s in self._streams.items()],
+            "mode": self.mode,
+            "filter": list(self._filter),
+            "filter_matches": self._filter_matches,
+            "issued_lines": list(self._issued),
+            "window_issued": self._window_issued,
+            "window_useful": self._window_useful,
+            "clock": self._clock,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "issued": self.issued,
+            "phantom": self.phantom,
+            "page_carries": self.page_carries,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if state["mode"] not in (self.LOW, self.HIGH):
+            raise ValueError(f"bad standalone mode {state['mode']!r}")
+        self._streams = OrderedDict(
+            (int(page), _PageStream(last_line=int(last_line),
+                                    delta=int(delta), run=int(run),
+                                    lru=int(lru)))
+            for page, last_line, delta, run, lru in state["streams"])
+        self.mode = str(state["mode"])
+        self._filter = OrderedDict((int(a), True) for a in state["filter"])
+        self._filter_matches = int(state["filter_matches"])
+        self._issued = OrderedDict(
+            (int(a), True) for a in state["issued_lines"])
+        self._window_issued = int(state["window_issued"])
+        self._window_useful = int(state["window_useful"])
+        self._clock = int(state["clock"])
+        self.promotions = int(state["promotions"])
+        self.demotions = int(state["demotions"])
+        self.issued = int(state["issued"])
+        self.phantom = int(state["phantom"])
+        self.page_carries = int(state["page_carries"])

@@ -81,6 +81,33 @@ class StrideStream:
     def locked(self) -> bool:
         return self.pattern is not None
 
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "last_addr": self.last_addr,
+            "deltas": list(self.deltas),
+            "pattern": list(self.pattern) if self.pattern is not None else None,
+            "pattern_pos": self.pattern_pos,
+            "frontier": self.frontier,
+            "degree": self.degree.state_dict(),
+            "confirm_queue": self.confirm_queue.state_dict(),
+            "lru": self.lru,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.last_addr = int(state["last_addr"])
+        self.deltas = deque((int(d) for d in state["deltas"]),
+                            maxlen=_HISTORY)
+        pattern = state["pattern"]
+        self.pattern = (tuple(int(p) for p in pattern)
+                        if pattern is not None else None)
+        self.pattern_pos = int(state["pattern_pos"])
+        self.frontier = int(state["frontier"])
+        self.degree.load_state_dict(state["degree"])
+        self.confirm_queue.load_state_dict(state["confirm_queue"])
+        self.lru = int(state["lru"])
+
 
 class MultiStridePrefetcher:
     """The stream table plus generation/confirmation logic."""
@@ -183,3 +210,30 @@ class MultiStridePrefetcher:
     @property
     def any_stream_locked(self) -> bool:
         return any(s.locked for s in self.streams)
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "streams": [s.state_dict() for s in self.streams],
+            "clock": self._clock,
+            "issued": self.issued,
+            "confirmed": self.confirmed,
+            "skip_aheads": self.skip_aheads,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        # Streams are rebuilt from scratch (nothing outside this class
+        # holds a reference to them); the constructor re-binds the
+        # integrated confirmation queue to the new stream's generator.
+        self.streams = []
+        for sstate in state["streams"]:
+            s = StrideStream(int(sstate["last_addr"]), self.min_degree,
+                             self.max_degree, self.integrated,
+                             self.confirmation_entries)
+            s.load_state_dict(sstate)
+            self.streams.append(s)
+        self._clock = int(state["clock"])
+        self.issued = int(state["issued"])
+        self.confirmed = int(state["confirmed"])
+        self.skip_aheads = int(state["skip_aheads"])

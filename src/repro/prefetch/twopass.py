@@ -72,3 +72,25 @@ class TwoPassController:
             self.mode_switches += 1
         self._window_probes = 0
         self._window_l2_hits = 0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "window_probes": self._window_probes,
+            "window_l2_hits": self._window_l2_hits,
+            "mode_switches": self.mode_switches,
+            "first_pass_issues": self.first_pass_issues,
+            "one_pass_issues": self.one_pass_issues,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        if state["mode"] not in ("two", "one"):
+            raise ValueError(f"bad two-pass mode {state['mode']!r}")
+        self.mode = str(state["mode"])
+        self._window_probes = int(state["window_probes"])
+        self._window_l2_hits = int(state["window_l2_hits"])
+        self.mode_switches = int(state["mode_switches"])
+        self.first_pass_issues = int(state["first_pass_issues"])
+        self.one_pass_issues = int(state["one_pass_issues"])

@@ -148,6 +148,14 @@ class Trace:
     def __getitem__(self, idx: int) -> TraceRecord:
         return self.records[idx]
 
+    def slice(self, start: int = 0,
+              stop: Optional[int] = None) -> "Trace":
+        """A sub-trace over ``records[start:stop]`` with the same name,
+        family and seed — the unit of checkpoint/resume execution (run a
+        prefix, checkpoint, run the remaining slice)."""
+        return Trace(self.name, self.family, self.records[start:stop],
+                     seed=self.seed)
+
     @property
     def branch_count(self) -> int:
         return sum(1 for r in self.records if r.is_branch)

@@ -202,3 +202,30 @@ class UocController:
         self._build_timer = 0
         self._build_edges = 0
         self._fetch_edges = 0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+    # The ``uoc.*`` counters live in the registry; the ledger is owned by
+    # the simulator.  Only the mode machine + the uop cache are ours.
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "uoc": self.uoc.state_dict(),
+            "mode": self.mode.value,
+            "built_bits": to_pairs(self._built_bits),
+            "filter_streak": self._filter_streak,
+            "build_timer": self._build_timer,
+            "build_edges": self._build_edges,
+            "fetch_edges": self._fetch_edges,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self.uoc.load_state_dict(state["uoc"])
+        self.mode = UocMode(state["mode"])
+        self._built_bits = {int(pc): bool(bit)
+                            for pc, bit in state["built_bits"]}
+        self._filter_streak = int(state["filter_streak"])
+        self._build_timer = int(state["build_timer"])
+        self._build_edges = int(state["build_edges"])
+        self._fetch_edges = int(state["fetch_edges"])

@@ -75,3 +75,30 @@ class UopCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- checkpointing (state_dict protocol) --------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        from ..state import to_pairs
+
+        return {
+            "blocks": to_pairs(self._blocks),
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "squashed_builds": self.squashed_builds,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        self._blocks = OrderedDict(
+            (int(pc), int(n)) for pc, n in state["blocks"])
+        self._resident_uops = sum(
+            n for _, n in sorted(self._blocks.items()))
+        if self._resident_uops > self.capacity_uops:
+            raise ValueError(
+                f"UOC checkpoint holds {self._resident_uops} uops, "
+                f"capacity is {self.capacity_uops}")
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.builds = int(state["builds"])
+        self.squashed_builds = int(state["squashed_builds"])

@@ -1,11 +1,11 @@
 """Tests for the simlint autofix engine and ``lint --fix`` CLI.
 
-Each fixer (SIM005 mutable-default, SIM009 bare-container-annotation,
-SIM010 float-sum, SIM011 iteration-order) is checked for the exact
-rewrite it produces, the engine for its idempotency contract — fixing
-twice is byte-identical, and a fixed tree re-lints with zero fixable
-findings — and the CLI for the ``--fix`` / ``--fix --diff`` /
-``--fix --check`` surface and exit codes.
+Each fixer (SIM004 dict-values-sum, SIM005 mutable-default, SIM009
+bare-container-annotation, SIM010 float-sum, SIM011 iteration-order) is
+checked for the exact rewrite it produces, the engine for its
+idempotency contract — fixing twice is byte-identical, and a fixed tree
+re-lints with zero fixable findings — and the CLI for the ``--fix`` /
+``--fix --diff`` / ``--fix --check`` surface and exit codes.
 """
 
 from __future__ import annotations
@@ -36,6 +36,10 @@ def mean(xs):
     return total / len(xs)
 
 
+def total_weight(d):
+    return sum(d.values())
+
+
 weights: dict = {"base": 1.0, "boost": 2.0}
 names: list = ["a", "b"]
 
@@ -64,10 +68,11 @@ def fixed_text(project):
 # The rewrites themselves
 # ---------------------------------------------------------------------------
 
-def test_fix_rewrites_all_four_rule_classes(project):
+def test_fix_rewrites_all_five_rule_classes(project):
     result = run_fix(["src"], config=load_config(project / "src"))
-    assert sorted(result.counts_by_rule()) == ["SIM005", "SIM009",
-                                               "SIM010", "SIM011"]
+    assert sorted(result.counts_by_rule()) == ["SIM004", "SIM005",
+                                               "SIM009", "SIM010",
+                                               "SIM011"]
     text = fixed_text(project)
     # SIM005: defaults become None sentinels with ordered guards.
     assert "def track(values=None, table=None):" in text
@@ -75,10 +80,14 @@ def test_fix_rewrites_all_four_rule_classes(project):
     assert body.index("if values is None:") < body.index("if table is None:")
     assert "values = []" in body and "table = {'a': 1}" in body
     assert body.index('"""Doc."""') < body.index("if values is None:")
-    # SIM010: sum -> math.fsum, import inserted once after the imports.
+    # SIM010: sum -> math.fsum; the import is inserted exactly once even
+    # though the SIM004 fix needs it too.
     assert "math.fsum(x * 2.0 for x in xs)" in text
     assert text.count("import math") == 1
     assert text.index("from collections") < text.index("import math")
+    # SIM004: values() accumulation becomes sorted-key fsum.
+    assert "math.fsum(d[k] for k in sorted(d))" in text
+    assert "d.values()" not in text
     # SIM009: parameters inferred from the assigned literal.
     assert 'weights: dict[str, float] = {"base": 1.0, "boost": 2.0}' in text
     assert 'names: list[str] = ["a", "b"]' in text
@@ -135,6 +144,14 @@ def test_unfixable_findings_are_left_alone(project):
         "\n"
         "def first(d):\n"
         "    return next(iter(d))\n"         # SIM011's unfixable form
+        "\n"
+        "\n"
+        "def lookup():\n"
+        "    return {}\n"
+        "\n"
+        "\n"
+        "def grand_total():\n"
+        "    return sum(lookup().values())\n"  # receiver has side effects
         "\n"
         "\n"
         "empty: list = []\n"                 # nothing to infer params from

@@ -1,0 +1,168 @@
+"""Tests for the checkpoint/restore layer (repro.state + save_state).
+
+The contracts under test (docs/checkpoint.md):
+
+- every generation's full simulator state survives a
+  ``save_state`` -> JSON -> ``restore`` round trip exactly;
+- a run interrupted at an arbitrary instruction and resumed in a fresh
+  simulator is *bit-identical* to an uninterrupted run — stats, window
+  series, and the flight-recorder event stream;
+- one checkpoint document can be restored any number of times (the
+  engine's warmup memo hands the same document to many restores);
+- ``repro.run(..., warmup=N)`` and ``run_population(..., warmup=N)``
+  only reschedule work — results never change, serial or sharded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.config import GENERATION_ORDER
+from repro.core import GenerationSimulator
+from repro.engine import execute_population
+from repro.engine.runner import clear_caches
+from repro.observe.events import events_to_jsonl
+from repro.observe.sink import TraceSink
+from repro.state import (CHECKPOINT_SCHEMA_VERSION, checkpoint_to_json,
+                         validate_checkpoint)
+from repro.traces import TraceSpec
+
+
+def _trace(family="specint_like", seed=7, n=6000):
+    return TraceSpec(family=family, seed=seed, n_instructions=n).build()
+
+
+def _json_roundtrip(doc):
+    return json.loads(checkpoint_to_json(doc))
+
+
+# ---------------------------------------------------------------------------
+# state_dict round trips: every generation, whole simulator
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("gen", GENERATION_ORDER)
+def test_save_state_roundtrips_through_json(gen):
+    trace = _trace()
+    sim = GenerationSimulator(gen)
+    sim.run(trace.slice(0, 2500), finalize=False)
+    doc = _json_roundtrip(sim.save_state())
+    assert doc["schema"] == CHECKPOINT_SCHEMA_VERSION
+    assert doc["generation"] == gen
+    assert doc["instructions"] == 2500
+
+    fresh = GenerationSimulator(gen)
+    fresh.restore(doc)
+    # The restored simulator checkpoints to the identical document.
+    assert checkpoint_to_json(fresh.save_state()) == \
+        checkpoint_to_json(doc)
+
+
+def test_restore_rejects_mismatched_simulator():
+    trace = _trace(n=3000)
+    sim = GenerationSimulator("M5")
+    sim.run(trace.slice(0, 1000), finalize=False)
+    doc = sim.save_state()
+
+    with pytest.raises(ValueError, match="generation"):
+        GenerationSimulator("M4").restore(doc)
+    with pytest.raises(ValueError, match="corunners"):
+        GenerationSimulator("M5", corunners=2).restore(doc)
+    bad = dict(doc)
+    bad["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        validate_checkpoint(bad)
+
+
+# ---------------------------------------------------------------------------
+# Interrupted == uninterrupted, bit for bit
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("gen", ["M3", "M6"])
+def test_interrupted_run_is_bit_identical(gen):
+    trace = _trace(family="loop_kernel", seed=11, n=6000)
+
+    sink_full = TraceSink(capacity=None)
+    full = GenerationSimulator(gen, trace_sink=sink_full).run(trace)
+
+    sink_a = TraceSink(capacity=None)
+    first = GenerationSimulator(gen, trace_sink=sink_a)
+    first.run(trace.slice(0, 2200), finalize=False)
+    prefix_events = sink_a.events()
+    doc = _json_roundtrip(first.save_state())
+
+    sink_b = TraceSink(capacity=None)
+    resumed = GenerationSimulator(gen, trace_sink=sink_b)
+    resumed.restore(doc)
+    result = resumed.run(trace.slice(2200))
+
+    assert result.core.cycles == full.core.cycles
+    assert result.metrics.as_dict() == full.metrics.as_dict()
+    assert [w.to_dict() for w in result.windows] == \
+        [w.to_dict() for w in full.windows]
+    # Sequence numbering continues across the restore, so the two
+    # streams concatenate into the uninterrupted one byte for byte.
+    assert events_to_jsonl(prefix_events + sink_b.events()) == \
+        events_to_jsonl(full.events)
+
+
+def test_one_checkpoint_restores_many_times():
+    trace = _trace(n=4000)
+    sim = GenerationSimulator("M6")
+    sim.run(trace.slice(0, 1500), finalize=False)
+    doc = _json_roundtrip(sim.save_state())
+
+    runs = []
+    for _ in range(2):  # restore() must never mutate the document
+        resumed = GenerationSimulator("M6")
+        resumed.restore(doc)
+        runs.append(resumed.run(trace.slice(1500)))
+    assert runs[0].core.cycles == runs[1].core.cycles
+    assert runs[0].metrics.as_dict() == runs[1].metrics.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Warmup-snapshot reuse through the engine
+# ---------------------------------------------------------------------------
+
+def test_run_warmup_is_bit_identical_and_memoized():
+    spec = ("loop_kernel", 5, 5000)
+    base = repro.run(spec, "M5")
+    warm1 = repro.run(spec, "M5", warmup=2000)
+    warm2 = repro.run(spec, "M5", warmup=2000)  # memo hit
+    for warm in (warm1, warm2):
+        assert warm.core.cycles == base.core.cycles
+        assert warm.metrics.as_dict() == base.metrics.as_dict()
+        assert [w.to_dict() for w in warm.windows] == \
+            [w.to_dict() for w in base.windows]
+
+
+def test_population_warmup_matches_serial_and_workers():
+    clear_caches()
+    kwargs = dict(n_slices=3, slice_length=4000, seed=3,
+                  generations=("M1", "M5"), cache="off")
+    plain, _ = execute_population(**kwargs)
+    warm, warm_stats = execute_population(warmup=1500, **kwargs)
+    sharded, _ = execute_population(warmup=1500, workers=2, **kwargs)
+
+    rows = [m.to_dict() for m in plain.metrics]
+    assert [m.to_dict() for m in warm.metrics] == rows
+    assert [m.to_dict() for m in sharded.metrics] == rows
+    # The warmup phase ran once per (config, trace): 6 checkpoints on
+    # top of the 6 measure tasks.
+    assert warm_stats.tasks_total == 12
+
+
+def test_population_warmup_checkpoints_persist_in_disk_cache(tmp_path):
+    clear_caches()
+    kwargs = dict(n_slices=2, slice_length=4000, seed=4,
+                  generations=("M5",), cache="disk", cache_dir=tmp_path)
+    _, cold = execute_population(warmup=1500, **kwargs)
+    assert cold.executed == cold.tasks_total == 4  # 2 warmup + 2 measure
+
+    clear_caches()  # drop memory; disk must serve both phases
+    _, rewarm = execute_population(warmup=1500, **kwargs)
+    assert rewarm.executed == 0
+    assert rewarm.cache_hits == rewarm.tasks_total == 4

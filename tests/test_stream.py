@@ -70,6 +70,41 @@ def test_chunk_rollover_and_manifest_integrity(tmp_path):
     assert [e.seq for e in events] == list(range(20))
 
 
+def test_compressed_stream_roundtrips_and_is_deterministic(tmp_path):
+    plain_dir, gz_a, gz_b = (tmp_path / n for n in ("plain", "a", "b"))
+    for d, compress in ((plain_dir, False), (gz_a, True), (gz_b, True)):
+        sink = StreamingTraceSink(d, chunk_events=8, compress=compress)
+        _emit_n(sink, 20)
+        sink.close()
+
+    manifest = read_manifest(gz_a)
+    assert manifest["codec"] == "gzip"
+    assert read_manifest(plain_dir)["codec"] == "jsonl"
+    files = sorted(p.name for p in gz_a.iterdir())
+    assert files == [MANIFEST_NAME, "trace-000001.jsonl.gz",
+                     "trace-000002.jsonl.gz", "trace-000003.jsonl.gz"]
+    # Byte accounting covers the compressed sizes.
+    for c in manifest["chunks"]:
+        assert (gz_a / c["file"]).stat().st_size == c["bytes"]
+    # Readers are codec-transparent: same events either way.
+    assert events_to_jsonl(read_stream_events(gz_a)) == \
+        events_to_jsonl(read_stream_events(plain_dir))
+    # Compressed bytes are deterministic (zeroed gzip mtime).
+    for c in manifest["chunks"]:
+        assert (gz_a / c["file"]).read_bytes() == \
+            (gz_b / c["file"]).read_bytes()
+
+
+def test_compressed_stream_seeks_by_seq(tmp_path):
+    sink = StreamingTraceSink(tmp_path / "s", chunk_events=8,
+                              compress=True)
+    _emit_n(sink, 20)
+    sink.close()
+    assert [e.seq for e in iter_stream_events(tmp_path / "s",
+                                              start_seq=10)] == \
+        list(range(10, 20))
+
+
 def test_streaming_sink_close_is_idempotent_and_seals(tmp_path):
     sink = StreamingTraceSink(tmp_path / "s", chunk_events=4)
     _emit_n(sink, 5)
