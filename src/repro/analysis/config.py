@@ -28,9 +28,12 @@ class LintConfig:
     #: Directory-name parts skipped entirely while walking.
     exclude: Tuple[str, ...] = ("__pycache__", ".git", "build", "dist",
                                 ".venv", ".eggs")
-    #: Paths allowed to read wall clocks (SIM002) — engine stats only.
+    #: Paths allowed to read wall clocks (SIM002) — engine stats and
+    #: the host-side observability layer (ledger/telemetry) only.
     wallclock_allow: Tuple[str, ...] = ("src/repro/engine/runner.py",
-                                        "src/repro/engine/tasks.py")
+                                        "src/repro/engine/tasks.py",
+                                        "src/repro/observe/ledger.py",
+                                        "src/repro/observe/telemetry.py")
     #: Paths allowed to use pickle/eval-class serialization (SIM008).
     serialization_allow: Tuple[str, ...] = ("src/repro/serialization.py",)
     #: Paths where even ``except Exception`` is too broad (SIM007);

@@ -4,37 +4,90 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict
+from typing import Dict, Optional
 
 
 def engine_kwargs(args: argparse.Namespace) -> Dict[str, object]:
     """Engine knobs shared by the population-statistic commands."""
-    return {
+    kwargs: Dict[str, object] = {
         "workers": args.workers,
         "cache": "off" if args.no_cache else "disk",
         "progress": progress_printer(),
     }
+    telemetry = telemetry_config(args)
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    return kwargs
 
 
-def progress_printer():
+def telemetry_config(args: argparse.Namespace):
+    """Build the engine's :class:`~repro.observe.telemetry
+    .TelemetryConfig` from CLI flags — when ``--status-file`` was given
+    or stderr is a TTY (the live progress line); ``None`` otherwise so
+    non-interactive runs stay monitor-free."""
+    status_file = getattr(args, "status_file", None)
+    if status_file is None and not sys.stderr.isatty():
+        return None
+    from ..observe.telemetry import DEFAULT_HANG_THRESHOLD, TelemetryConfig
+
+    def emit(message: str) -> None:
+        print(f"\n{message}", file=sys.stderr)
+
+    return TelemetryConfig(
+        status_file=status_file,
+        hang_threshold=float(getattr(args, "hang_threshold",
+                                     DEFAULT_HANG_THRESHOLD)),
+        emit=emit,
+    )
+
+
+class _ProgressPrinter:
+    """The ``progress(done, total)`` callback: a live counter on a TTY.
+
+    When the engine runs with telemetry it hands over its monitor via
+    :meth:`set_monitor`, upgrading the line to the full telemetry
+    rendering (throughput, ETA, hung-worker flag)."""
+
+    def __init__(self) -> None:
+        self.monitor = None
+        self._width = 0
+
+    def set_monitor(self, monitor) -> None:
+        self.monitor = monitor
+
+    def __call__(self, done: int, total: int) -> None:
+        if self.monitor is not None:
+            line = f"  {self.monitor.render_line()}"
+        else:
+            line = f"  engine: {done}/{total} tasks"
+        self._width = max(self._width, len(line))
+        sys.stderr.write("\r" + line.ljust(self._width))
+        if done == total:
+            sys.stderr.write("\r" + " " * self._width + "\r")
+        sys.stderr.flush()
+
+
+def progress_printer() -> Optional[_ProgressPrinter]:
     """A ``progress(done, total)`` callback: live counter on a TTY."""
     if not sys.stderr.isatty():
         return None
-
-    def progress(done: int, total: int) -> None:
-        sys.stderr.write(f"\r  engine: {done}/{total} tasks")
-        if done == total:
-            sys.stderr.write("\r" + " " * 40 + "\r")
-        sys.stderr.flush()
-
-    return progress
+    return _ProgressPrinter()
 
 
 def add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    from ..observe.telemetry import DEFAULT_HANG_THRESHOLD
+
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (0 = one per CPU)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--status-file", default=None, metavar="PATH",
+                        help="mirror live run telemetry into this JSON "
+                             "file (atomically rewritten)")
+    parser.add_argument("--hang-threshold", type=float,
+                        default=DEFAULT_HANG_THRESHOLD, metavar="SECONDS",
+                        help="flag workers as suspected hung after this "
+                             "many seconds without a finished task")
 
 
 def parse_trace_spec(text: str):

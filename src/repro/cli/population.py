@@ -21,6 +21,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                              "(forces --no-cache so tasks actually execute)")
     parser.add_argument("--profile-top", type=int, default=10,
                         help="slowest tasks to list with --profile")
+    parser.add_argument("--save", default=None, metavar="POP.json",
+                        help="also write the population archive JSON "
+                             "(the `repro regress` / `metrics --diff` "
+                             "input format)")
     add_engine_flags(parser)
 
 
@@ -54,6 +58,11 @@ def run(args: argparse.Namespace) -> int:
     print(f"  IPC growth/yr: {s['summary']['ipc_growth_per_year_pct']:.1f}% "
           f"(paper 20.6%)")
     print(f"  engine: {stats.describe()}", file=sys.stderr)
+    if args.save:
+        from ..serialization import population_to_json
+        with open(args.save, "w") as f:
+            f.write(population_to_json(pop))
+        print(f"  archive written to {args.save}", file=sys.stderr)
     if args.profile:
         from ..observe import describe_profile
         print()

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from . import (checkpoint, completion, families, fig1, lint, metrics,
-               pipeview, population, report, simulate, tables, tracediff)
+               pipeview, population, regress, report, runs, simulate,
+               tables, tracediff)
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,8 @@ COMMANDS: Tuple[Command, ...] = tuple(_command(m) for m in (
     pipeview,
     tracediff,
     checkpoint,
+    runs,
+    regress,
     lint,
     completion,
 ))

@@ -1,0 +1,119 @@
+"""``python -m repro regress`` — the CI regression gate.
+
+Compares a current population archive against a baseline — another
+archive, or a ledger record via ``--ledger REF`` — cell by
+(generation x trace x metric) cell, suppressing moves the windowed
+permutation test calls noise (see :mod:`repro.metrics.regress`).
+Exit code 1 when a significant regression survives the filter, so a
+workflow can gate on it directly:
+
+.. code-block:: console
+
+   $ python -m repro population --save BASELINE.json
+   ...change the model...
+   $ python -m repro population --save CURRENT.json
+   $ python -m repro regress BASELINE.json CURRENT.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from ..metrics.regress import (DEFAULT_ALPHA, DEFAULT_MIN_REL,
+                               DEFAULT_PERMUTATIONS, DEFAULT_SEED,
+                               REGRESSION_METRICS)
+
+NAME = "regress"
+HELP = "compare population archives; exit 1 on significant regression"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("baseline", nargs="?", default=None,
+                        metavar="BASELINE.json",
+                        help="baseline population archive (omit with "
+                             "--ledger)")
+    parser.add_argument("current", metavar="CURRENT.json",
+                        help="current population archive")
+    parser.add_argument("--ledger", default=None, metavar="REF",
+                        help="take the baseline from this run-ledger "
+                             "record (id prefix or 1-based index from "
+                             "the end) instead of a file")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root holding the ledger")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated metrics to gate on "
+                             f"(default: {','.join(REGRESSION_METRICS)})")
+    parser.add_argument("--alpha", type=float, default=DEFAULT_ALPHA,
+                        help="permutation-test significance level")
+    parser.add_argument("--min-rel", type=float, default=DEFAULT_MIN_REL,
+                        help="minimum relative move before a cell can "
+                             "regress")
+    parser.add_argument("--permutations", type=int,
+                        default=DEFAULT_PERMUTATIONS,
+                        help="sign-flip permutations per tested cell")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="permutation RNG seed")
+    parser.add_argument("--top", type=int, default=10,
+                        help="sub-threshold movers to list (0 = none)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the schema-versioned report JSON")
+
+
+def run(args: argparse.Namespace) -> int:
+    from ..metrics.regress import (compare_populations, population_rows,
+                                   regress_exit_code, render_regress)
+
+    if (args.baseline is None) == (args.ledger is None):
+        print("error: provide exactly one baseline — BASELINE.json "
+              "or --ledger REF")
+        return 2
+
+    if args.ledger is not None:
+        from ..observe.ledger import find_record, read_ledger
+
+        records = [r for r in read_ledger(args.cache_dir)
+                   if r.get("kind") == "population"]
+        record = find_record(records, args.ledger)
+        if record is None:
+            print(f"error: no unique population ledger record matches "
+                  f"{args.ledger!r} ({len(records)} candidates; see "
+                  f"`repro runs list`)")
+            return 2
+        baseline_doc = record
+        baseline_label = f"ledger:{record.get('id')}"
+    else:
+        with open(args.baseline) as f:
+            baseline_doc = json.load(f)
+        baseline_label = args.baseline
+
+    with open(args.current) as f:
+        current_doc = json.load(f)
+
+    try:
+        base_rows = population_rows(baseline_doc)
+        current_rows = population_rows(current_doc)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+
+    metrics = (tuple(m.strip() for m in args.metrics.split(",") if m.strip())
+               if args.metrics else None)
+    try:
+        report = compare_populations(
+            base_rows, current_rows, metrics=metrics, alpha=args.alpha,
+            min_rel=args.min_rel, permutations=args.permutations,
+            seed=args.seed)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    report["baseline"] = baseline_label
+    report["current"] = args.current
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"baseline: {baseline_label}")
+        print(f"current:  {args.current}")
+        print(render_regress(report, top=args.top))
+    return regress_exit_code(report)

@@ -22,6 +22,7 @@ def run(args: argparse.Namespace) -> int:
     from ..harness.report import build_report
     kwargs = engine_kwargs(args)
     kwargs.pop("progress", None)
+    kwargs.pop("telemetry", None)  # build_report drives the engine itself
     text = build_report(n_slices=args.slices, slice_length=args.length,
                         include_fig1=not args.no_fig1, **kwargs)
     if args.out:

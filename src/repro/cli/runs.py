@@ -1,0 +1,149 @@
+"""``python -m repro runs`` — inspect the run ledger.
+
+``list`` shows recent records (newest last, 1-based from-the-end
+indices usable as references), ``show`` dumps one record, ``compare``
+diffs two records field by field (provenance drift, knob changes,
+engine cost, per-generation summary deltas), and ``gc`` prunes the
+ledger down to the newest N records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict
+
+NAME = "runs"
+HELP = "list, inspect, compare, or prune run-ledger records"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root holding the ledger (default: "
+                             "REPRO_CACHE_DIR or ~/.cache/repro)")
+    sub = parser.add_subparsers(dest="runs_command", required=True)
+
+    list_p = sub.add_parser("list", help="recent ledger records")
+    list_p.add_argument("-n", "--limit", type=int, default=20,
+                        help="records to show (newest last; 0 = all)")
+    list_p.add_argument("--json", action="store_true",
+                        help="emit the records as JSON lines")
+    list_p.set_defaults(runs_func=_run_list)
+
+    show = sub.add_parser("show", help="dump one record")
+    show.add_argument("ref", help="record id (or unique prefix), or "
+                                  "1-based index from the end (1 = latest)")
+    show.set_defaults(runs_func=_run_show)
+
+    compare = sub.add_parser("compare",
+                             help="field-level diff of two records")
+    compare.add_argument("ref_a")
+    compare.add_argument("ref_b")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the comparison document as JSON")
+    compare.set_defaults(runs_func=_run_compare)
+
+    gc = sub.add_parser("gc", help="drop all but the newest N records")
+    gc.add_argument("--keep", type=int, default=100,
+                    help="records to keep (0 empties the ledger)")
+    gc.set_defaults(runs_func=_run_gc)
+
+
+def _describe(record: Dict[str, Any]) -> str:
+    kind = record.get("kind", "?")
+    params = record.get("params", {}) or {}
+    if kind == "population":
+        gens = params.get("generations") or []
+        detail = (f"{params.get('n_slices')}x{params.get('slice_length')} "
+                  f"seed={params.get('seed')} gens={len(gens)}")
+    else:
+        trace = params.get("trace") or {}
+        detail = (f"{params.get('generation')} on "
+                  f"{trace.get('family', trace.get('trace_name', '?'))} "
+                  f"seed={trace.get('seed', '?')}")
+    wall = (record.get("engine", {}) or {}).get("wall_seconds")
+    wall_text = f" {wall:8.2f}s" if isinstance(wall, (int, float)) else ""
+    return (f"{record.get('id', '?'):<12s} {record.get('timestamp', '?')} "
+            f"{kind:<10s}{wall_text}  {detail}")
+
+
+def _run_list(args: argparse.Namespace) -> int:
+    from ..observe.ledger import read_ledger
+
+    records = read_ledger(args.cache_dir)
+    if not records:
+        print("ledger is empty")
+        return 0
+    shown = records[-args.limit:] if args.limit > 0 else records
+    if args.json:
+        for record in shown:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    offset = len(records) - len(shown)
+    print(f"{len(records)} ledger records "
+          f"(showing {len(shown)}; ref = index from end or id prefix)")
+    for i, record in enumerate(shown):
+        index = len(records) - (offset + i)
+        print(f"  [{index:>3d}] {_describe(record)}")
+    return 0
+
+
+def _resolve(args: argparse.Namespace, ref: str):
+    from ..observe.ledger import find_record, read_ledger
+
+    records = read_ledger(args.cache_dir)
+    record = find_record(records, ref)
+    if record is None:
+        print(f"error: no unique ledger record matches {ref!r} "
+              f"({len(records)} records; see `repro runs list`)")
+    return record
+
+
+def _run_show(args: argparse.Namespace) -> int:
+    record = _resolve(args, args.ref)
+    if record is None:
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from ..observe.ledger import compare_records
+
+    record_a = _resolve(args, args.ref_a)
+    record_b = _resolve(args, args.ref_b)
+    if record_a is None or record_b is None:
+        return 2
+    comparison = compare_records(record_a, record_b)
+    if args.json:
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+        return 0
+    print(f"A: {comparison['a']['id']} @ {comparison['a']['timestamp']}")
+    print(f"B: {comparison['b']['id']} @ {comparison['b']['timestamp']}")
+    print("results identical: "
+          + ("yes (archive digests match)"
+             if comparison["identical_results"] else "no"))
+    for section in ("provenance", "params", "engine", "summary"):
+        entries = comparison[section]
+        if not entries:
+            continue
+        print(f"{section}:")
+        for key in sorted(entries):
+            entry = entries[key]
+            delta = entry.get("delta")
+            delta_text = (f"  d={delta:+.6g}"
+                          if isinstance(delta, (int, float)) else "")
+            print(f"  {key}: {entry['a']} -> {entry['b']}{delta_text}")
+    return 0
+
+
+def _run_gc(args: argparse.Namespace) -> int:
+    from ..observe.ledger import gc_ledger
+
+    removed = gc_ledger(args.keep, args.cache_dir)
+    print(f"removed {removed} ledger records (kept newest {args.keep})")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    return args.runs_func(args)

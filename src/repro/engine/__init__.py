@@ -44,10 +44,12 @@ from .runner import (  # noqa: F401
 from .tasks import (  # noqa: F401
     ENGINE_SCHEMA_VERSION,
     execute_task,
+    execute_task_heartbeat,
     execute_task_timed,
     ghist_task,
     pipetrace_task,
     population_task,
     task_fingerprint,
+    task_instructions,
     task_label,
 )

@@ -23,14 +23,18 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
 
 from ..config import (GENERATION_ORDER, GenerationConfig, get_generation)
 from ..metrics.windows import DEFAULT_WINDOW_INSTRUCTIONS
+from ..observe.ledger import ledger_enabled
 from ..observe.profile import TaskTiming
+from ..observe.telemetry import (TelemetryConfig, TelemetryMonitor,
+                                 start_watchdog)
 from ..traces.spec import TraceLike, TraceSpec, coerce_spec
 from ..traces.types import Trace
 from ..traces.workloads import standard_suite_specs
 from .cache import TaskCache, clear_memory
 from .results import PopulationResult, SliceMetrics
-from .tasks import (execute_task_timed, population_task, task_fingerprint,
-                    task_label, warmup_task)
+from .tasks import (execute_task_heartbeat, population_task,
+                    task_fingerprint, task_instructions, task_label,
+                    warmup_task)
 
 ProgressFn = Callable[[int, int], None]
 
@@ -49,6 +53,10 @@ class EngineStats:
     phase_breakdown: Dict[str, float] = field(default_factory=dict)
     #: Per-executed-task wall times (empty when everything was cached).
     task_timings: List[TaskTiming] = field(default_factory=list)
+    #: Per-task-kind cache accounting: ``{"population": {"hits": h,
+    #: "executed": e}, "warmup": ...}`` — the warmup-vs-measure (vs
+    #: pipetrace) hit-rate view ``describe_profile`` renders.
+    kind_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def tasks_per_second(self) -> float:
@@ -75,6 +83,11 @@ class EngineStats:
             self.phase_breakdown[phase] = (
                 self.phase_breakdown.get(phase, 0.0) + seconds)
         self.task_timings.extend(other.task_timings)
+        for kind, counts in other.kind_stats.items():
+            mine = self.kind_stats.setdefault(
+                kind, {"hits": 0, "executed": 0})
+            mine["hits"] += counts.get("hits", 0)
+            mine["executed"] += counts.get("executed", 0)
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -95,11 +108,16 @@ class PopulationEngine:
 
     def __init__(self, workers: Optional[int] = 1, cache: str = "memory",
                  cache_dir: Optional[os.PathLike] = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 telemetry: Optional[TelemetryConfig] = None) -> None:
         self.workers = _resolve_workers(workers)
         self.cache = TaskCache(cache, cache_dir=cache_dir)
         self.progress = progress
+        self.telemetry = telemetry
         self.last_stats: Optional[EngineStats] = None
+        #: Monitor of the most recent :meth:`run_payloads` call (None
+        #: when telemetry is off) — warnings/heartbeats live here.
+        self.last_monitor: Optional[TelemetryMonitor] = None
 
     def run_payloads(self, payloads: Sequence[Dict[str, Any]]
                      ) -> Tuple[List[Dict[str, Any]], EngineStats]:
@@ -111,31 +129,70 @@ class PopulationEngine:
         t_lookup = time.perf_counter()
         fingerprint_s = t_lookup - t0
         done = 0
+        kind_stats: Dict[str, Dict[str, int]] = {}
 
-        missing: List[int] = []
-        for i, fp in enumerate(fingerprints):
-            hit = self.cache.get(fp)
-            if hit is not None:
-                results[i] = hit
-                done += 1
-                self._report(done, total)
-            else:
-                missing.append(i)
-        t_exec = time.perf_counter()
-        lookup_s = t_exec - t_lookup
+        monitor: Optional[TelemetryMonitor] = None
+        stop_watchdog: Optional[Callable[[], None]] = None
+        if self.telemetry is not None:
+            monitor = TelemetryMonitor(total, workers=self.workers,
+                                       config=self.telemetry)
+            self.last_monitor = monitor
+            set_monitor = getattr(self.progress, "set_monitor", None)
+            if set_monitor is not None:
+                set_monitor(monitor)
+            stop_watchdog = start_watchdog(monitor)
 
-        store_s = 0.0
-        timings: List[TaskTiming] = []
-        if missing:
-            for i, result, seconds in self._execute(payloads, missing):
-                results[i] = result
-                timings.append(TaskTiming(task_label(payloads[i]), seconds))
-                ts = time.perf_counter()
-                self.cache.put(fingerprints[i], result)
-                store_s += time.perf_counter() - ts
-                done += 1
-                self._report(done, total)
-        execute_s = max(0.0, time.perf_counter() - t_exec - store_s)
+        def _account(payload: Dict[str, Any], cached: bool) -> None:
+            kind = str(payload.get("kind", "?"))
+            counts = kind_stats.setdefault(kind, {"hits": 0, "executed": 0})
+            counts["hits" if cached else "executed"] += 1
+
+        try:
+            missing: List[int] = []
+            for i, fp in enumerate(fingerprints):
+                hit = self.cache.get(fp)
+                if hit is not None:
+                    results[i] = hit
+                    done += 1
+                    _account(payloads[i], cached=True)
+                    if monitor is not None:
+                        monitor.on_result(
+                            task_label(payloads[i]),
+                            str(payloads[i].get("kind", "?")), 0.0,
+                            os.getpid(),
+                            task_instructions(payloads[i]), cached=True)
+                    self._report(done, total)
+                else:
+                    missing.append(i)
+            t_exec = time.perf_counter()
+            lookup_s = t_exec - t_lookup
+
+            store_s = 0.0
+            timings: List[TaskTiming] = []
+            if missing:
+                for i, result, seconds, pid in self._execute(payloads,
+                                                             missing):
+                    results[i] = result
+                    timings.append(
+                        TaskTiming(task_label(payloads[i]), seconds))
+                    _account(payloads[i], cached=False)
+                    if monitor is not None:
+                        monitor.on_result(
+                            task_label(payloads[i]),
+                            str(payloads[i].get("kind", "?")), seconds,
+                            pid, task_instructions(payloads[i]),
+                            cached=False)
+                    ts = time.perf_counter()
+                    self.cache.put(fingerprints[i], result)
+                    store_s += time.perf_counter() - ts
+                    done += 1
+                    self._report(done, total)
+            execute_s = max(0.0, time.perf_counter() - t_exec - store_s)
+        finally:
+            if stop_watchdog is not None:
+                stop_watchdog()
+            if monitor is not None:
+                monitor.finish()
 
         stats = EngineStats(
             tasks_total=total,
@@ -151,19 +208,21 @@ class PopulationEngine:
                 "cache_store": store_s,
             },
             task_timings=timings,
+            kind_stats=kind_stats,
         )
         self.last_stats = stats
         return [r for r in results if r is not None], stats
 
     def _execute(self, payloads: Sequence[Dict[str, Any]],
                  missing: Sequence[int]):
-        """Yield ``(index, result, wall seconds)`` for every
-        cache-missing payload.  The per-task seconds are measured inside
-        the process that ran the task (worker-side under the pool)."""
+        """Yield ``(index, result, wall seconds, pid)`` for every
+        cache-missing payload.  Seconds and pid are measured inside the
+        process that ran the task (worker-side under the pool) — the
+        telemetry heartbeat riding the result channel."""
         if self.workers <= 1 or len(missing) <= 1:
             for i in missing:
-                result, seconds = execute_task_timed(payloads[i])
-                yield i, result, seconds
+                result, seconds, pid = execute_task_heartbeat(payloads[i])
+                yield i, result, seconds, pid
             return
         n_workers = min(self.workers, len(missing))
         # Contiguous chunks keep same-trace tasks on the same worker so
@@ -171,11 +230,11 @@ class PopulationEngine:
         chunksize = max(1, len(missing) // (n_workers * 4))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             ordered = [payloads[i] for i in missing]
-            for i, (result, seconds) in zip(
+            for i, (result, seconds, pid) in zip(
                     missing,
-                    pool.map(execute_task_timed, ordered,
+                    pool.map(execute_task_heartbeat, ordered,
                              chunksize=chunksize)):
-                yield i, result, seconds
+                yield i, result, seconds, pid
 
     def _report(self, done: int, total: int) -> None:
         if self.progress is not None:
@@ -203,6 +262,24 @@ def clear_caches() -> None:
     clear_memory()
 
 
+def _ledger_population(result: PopulationResult, stats: EngineStats,
+                       payloads: Sequence[Dict[str, Any]],
+                       configs: Sequence[GenerationConfig],
+                       params: Dict[str, Any],
+                       cache_dir: Optional[os.PathLike]) -> None:
+    """Append one population record to the run ledger (never raises:
+    the ledger layer swallows IO errors — a run must not fail because
+    its log could not be written)."""
+    from ..observe import ledger as ledger_mod
+
+    record = ledger_mod.population_record(
+        result, stats,
+        params=params,
+        config_fingerprints={c.name: c.fingerprint() for c in configs},
+        task_fingerprints=[task_fingerprint(p) for p in payloads])
+    ledger_mod.append_record(record, cache_dir=cache_dir)
+
+
 def execute_population(
     n_slices: int = 36,
     slice_length: int = 20_000,
@@ -216,6 +293,8 @@ def execute_population(
     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
     window_counters: Optional[Sequence[str]] = None,
     warmup: int = 0,
+    telemetry: Optional[TelemetryConfig] = None,
+    ledger: Optional[bool] = None,
 ) -> Tuple[PopulationResult, EngineStats]:
     """Run the standard suite on each generation, returning result+stats.
 
@@ -232,6 +311,12 @@ def execute_population(
     and persisted as a checkpoint through the task cache — plus a
     measure phase resumed from the snapshot.  Results are bit-identical
     to ``warmup=0``; only scheduling and cache reuse change.
+
+    ``telemetry`` (a :class:`~repro.observe.telemetry.TelemetryConfig`)
+    turns on live run telemetry — status-file JSON, ETA, hung-worker
+    warnings; ``ledger`` controls the run-ledger append (default: on
+    unless ``REPRO_LEDGER=off``).  Both are pure observation: results
+    are bit-identical with either on or off.
     """
     gens = tuple(generations) if generations else GENERATION_ORDER
     configs = [get_generation(g) for g in gens]
@@ -240,6 +325,18 @@ def execute_population(
     warmup = int(warmup)
     memo_key = (n_slices, slice_length, seed, gens, window_interval,
                 counters, warmup)
+
+    def _ledger_params() -> Dict[str, Any]:
+        return {
+            "n_slices": n_slices,
+            "slice_length": slice_length,
+            "seed": seed,
+            "generations": list(gens),
+            "window_interval": window_interval,
+            "window_counters": list(counters) if counters else None,
+            "warmup": warmup,
+        }
+
     if cache != "off":
         memoized = _POPULATION_MEMO.get(memo_key)
         if memoized is not None:
@@ -250,13 +347,27 @@ def execute_population(
                 wall_seconds=0.0,
                 workers=_resolve_workers(workers),
                 cache_mode=cache,
+                kind_stats={"population": {
+                    "hits": n_slices * len(gens), "executed": 0}},
             )
+            if ledger_enabled(ledger):
+                payloads = [population_task(config, spec,
+                                            window_interval=window_interval,
+                                            window_counters=counters,
+                                            warmup=warmup)
+                            for spec in standard_suite_specs(
+                                n_slices=n_slices,
+                                slice_length=slice_length, seed=seed)
+                            for config in configs]
+                _ledger_population(memoized, stats, payloads, configs,
+                                   _ledger_params(), cache_dir)
             return memoized, stats
 
     specs = standard_suite_specs(n_slices=n_slices,
                                  slice_length=slice_length, seed=seed)
     engine = PopulationEngine(workers=workers, cache=cache,
-                              cache_dir=cache_dir, progress=progress)
+                              cache_dir=cache_dir, progress=progress,
+                              telemetry=telemetry)
     # Trace-major submission order: the per-worker trace memo then sees
     # all generations of one trace back to back.
     payloads = [population_task(config, spec,
@@ -291,6 +402,9 @@ def execute_population(
                 SliceMetrics.from_dict(rows[s * n_gens + g]))
     if cache != "off":
         _POPULATION_MEMO[memo_key] = result
+    if ledger_enabled(ledger):
+        _ledger_population(result, stats, payloads, configs,
+                           _ledger_params(), cache_dir)
     return result, stats
 
 
@@ -338,7 +452,8 @@ def run(trace_or_spec: TraceLike,
         generation: Union[str, GenerationConfig], *,
         corunners: int = 0,
         warmup: int = 0,
-        trace_to=None):
+        trace_to=None,
+        ledger: Optional[bool] = None):
     """Simulate one trace on one generation — the one-stop entry point.
 
     ``trace_or_spec`` may be a materialized :class:`~repro.traces.types
@@ -368,6 +483,7 @@ def run(trace_or_spec: TraceLike,
     """
     from ..core import GenerationSimulator
 
+    t0 = time.perf_counter()
     config = (generation if isinstance(generation, GenerationConfig)
               else get_generation(generation))
     if isinstance(trace_or_spec, Trace):
@@ -393,11 +509,24 @@ def run(trace_or_spec: TraceLike,
         return sim.run(trace)
 
     if trace_to is None:
-        return build_and_run()
+        result = build_and_run()
+    else:
+        from ..observe.stream import trace as trace_capture
 
-    from ..observe.stream import trace as trace_capture
+        target = None if trace_to is True else trace_to
+        spec_meta = {"generation": config.name, "trace": trace.name}
+        with trace_capture(target, meta=spec_meta) as sink:
+            result = build_and_run(sink)
 
-    target = None if trace_to is True else trace_to
-    spec_meta = {"generation": config.name, "trace": trace.name}
-    with trace_capture(target, meta=spec_meta) as sink:
-        return build_and_run(sink)
+    if ledger_enabled(ledger):
+        from ..observe import ledger as ledger_mod
+
+        record = ledger_mod.single_run_record(
+            result, generation=config.name,
+            config_fingerprint=config.fingerprint(),
+            spec=(spec.to_dict() if spec is not None
+                  else {"trace_name": trace.name}),
+            corunners=corunners, warmup=int(warmup),
+            wall_seconds=time.perf_counter() - t0)
+        ledger_mod.append_record(record)
+    return result

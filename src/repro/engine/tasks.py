@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -318,6 +319,23 @@ def task_label(payload: Dict[str, Any]) -> str:
     return " ".join(parts)
 
 
+def task_instructions(payload: Dict[str, Any]) -> int:
+    """Instructions one payload will simulate (telemetry throughput).
+
+    A pure function of the payload — warmup tasks run the prefix,
+    measure tasks with ``warmup`` run the remainder, everything else
+    runs the full spec length.  Payloads without a trace spec count 0.
+    """
+    spec = payload.get("trace")
+    if not isinstance(spec, dict):
+        return 0
+    n = int(spec.get("n_instructions", 0) or 0)
+    warmup = int(payload.get("warmup", 0) or 0)
+    if payload.get("kind") == "warmup":
+        return min(n, warmup)
+    return max(0, n - warmup)
+
+
 def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one task payload to completion (worker-process entry point)."""
     try:
@@ -338,3 +356,17 @@ def execute_task_timed(payload: Dict[str, Any]
     t0 = time.perf_counter()
     result = execute_task(payload)
     return result, time.perf_counter() - t0
+
+
+def execute_task_heartbeat(payload: Dict[str, Any]
+                           ) -> Tuple[Dict[str, Any], float, int]:
+    """Like :func:`execute_task_timed`, plus the executing pid.
+
+    The ``(seconds, pid)`` pair is the worker-side half of an engine
+    telemetry heartbeat (:mod:`repro.observe.telemetry`): it rides the
+    ordinary result channel back to the host, which stamps arrival time
+    and task context.  Like the timing, it lives *beside* the result —
+    cached payloads never carry it.
+    """
+    result, seconds = execute_task_timed(payload)
+    return result, seconds, os.getpid()

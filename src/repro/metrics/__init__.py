@@ -12,10 +12,18 @@ Public surface:
   interval snapshots for warmup-excludable time series.
 - :func:`diff_metric_documents` / :func:`render_metric_diff` — A/B
   comparison of two saved ``metrics --json`` documents.
+- :mod:`repro.metrics.regress` — the population-archive regression
+  sentinel (:func:`compare_populations`, permutation-test significance
+  filter) behind ``python -m repro regress``.
 """
 
 from .diff import diff_metric_documents, render_metric_diff
 from .formulas import STANDARD_FORMULAS
+from .regress import (REGRESS_SCHEMA_VERSION, REGRESSION_METRICS,
+                      compare_populations, permutation_pvalue,
+                      population_rows, regress_exit_code,
+                      render_population_diff, render_regress,
+                      window_delta_pvalue)
 from .registry import (Counter, Formula, Gauge, MetricRegistry,
                        MetricSnapshot, StatsView)
 from .windows import (DEFAULT_WINDOW_INSTRUCTIONS, STALL_WINDOW_COUNTERS,
@@ -38,4 +46,13 @@ __all__ = [
     "window_metric_series",
     "diff_metric_documents",
     "render_metric_diff",
+    "REGRESS_SCHEMA_VERSION",
+    "REGRESSION_METRICS",
+    "compare_populations",
+    "permutation_pvalue",
+    "population_rows",
+    "regress_exit_code",
+    "render_population_diff",
+    "render_regress",
+    "window_delta_pvalue",
 ]

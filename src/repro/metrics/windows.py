@@ -112,11 +112,16 @@ class WindowSample:
         raise KeyError(name)
 
     def to_dict(self) -> Dict[str, object]:
+        # Values are emitted key-sorted so serialized windows are
+        # canonical: a row that round-tripped through the disk cache
+        # (which writes sort_keys JSON) re-serializes byte-identically
+        # to a freshly-executed one — archive digests must not depend
+        # on cache state.
         return {
             "index": self.index,
             "start_instruction": self.start_instruction,
             "end_instruction": self.end_instruction,
-            "values": dict(self.values),
+            "values": {k: self.values[k] for k in sorted(self.values)},
         }
 
     @classmethod

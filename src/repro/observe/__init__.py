@@ -42,11 +42,23 @@ from .events import (  # noqa: F401
     events_from_jsonl,
     events_to_jsonl,
 )
+from .ledger import (  # noqa: F401
+    LEDGER_SCHEMA_VERSION,
+    append_record,
+    compare_records,
+    find_record,
+    gc_ledger,
+    ledger_enabled,
+    ledger_path,
+    read_ledger,
+    record_id,
+)
 from .pipeview import render_event_log, render_pipeview  # noqa: F401
 from .profile import (  # noqa: F401
     PHASES,
     TaskTiming,
     describe_profile,
+    kind_hit_rates,
     slowest_tasks,
 )
 from .sink import DEFAULT_CAPACITY, TraceSink, maybe_sink  # noqa: F401
@@ -61,6 +73,14 @@ from .stream import (  # noqa: F401
     read_stream_events,
     stream_event_dicts,
     trace,
+)
+from .telemetry import (  # noqa: F401
+    TELEMETRY_SCHEMA_VERSION,
+    Heartbeat,
+    TelemetryConfig,
+    TelemetryMonitor,
+    start_watchdog,
+    write_status_file,
 )
 from .tracediff import (  # noqa: F401
     DIVERGENCE_CLASSES,
@@ -107,5 +127,21 @@ __all__ = [
     "PHASES",
     "TaskTiming",
     "describe_profile",
+    "kind_hit_rates",
     "slowest_tasks",
+    "LEDGER_SCHEMA_VERSION",
+    "ledger_enabled",
+    "ledger_path",
+    "append_record",
+    "read_ledger",
+    "find_record",
+    "gc_ledger",
+    "compare_records",
+    "record_id",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryConfig",
+    "TelemetryMonitor",
+    "Heartbeat",
+    "start_watchdog",
+    "write_status_file",
 ]

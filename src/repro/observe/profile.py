@@ -41,6 +41,22 @@ def slowest_tasks(timings: Sequence[TaskTiming],
     return ranked[:max(0, n)]
 
 
+def kind_hit_rates(kind_stats) -> List[str]:
+    """Per-task-kind cache hit-rate lines, kinds sorted for stable
+    output — the warmup-vs-measure-vs-pipetrace view of
+    ``EngineStats.kind_stats``."""
+    lines: List[str] = []
+    for kind in sorted(kind_stats):
+        counts = kind_stats[kind]
+        hits = int(counts.get("hits", 0))
+        executed = int(counts.get("executed", 0))
+        total = hits + executed
+        rate = 100.0 * hits / total if total > 0 else 0.0
+        lines.append(f"    {kind:<12s} {rate:5.1f}% hit "
+                     f"({hits}/{total} cached, {executed} executed)")
+    return lines
+
+
 def describe_profile(stats, top: int = 10) -> str:
     """Render one engine run's profile (an ``EngineStats`` with
     ``phase_breakdown``/``task_timings`` filled in) as text."""
@@ -59,6 +75,11 @@ def describe_profile(stats, top: int = 10) -> str:
     other = max(0.0, total - accounted)
     pct = 100.0 * other / total if total > 0 else 0.0
     lines.append(f"    {'other':<13s} {other:8.3f}s  {pct:5.1f}%")
+
+    kind_stats = getattr(stats, "kind_stats", None) or {}
+    if kind_stats:
+        lines.append("  cache hit-rate by task kind:")
+        lines.extend(kind_hit_rates(kind_stats))
 
     timings = list(stats.task_timings)
     if timings:

@@ -124,9 +124,13 @@ def population_from_dict(data: Dict[str, Any]) -> "Any":
 
 def population_to_json(population: "Any",
                        indent: Optional[int] = None) -> str:
+    """Canonical archive bytes: keys sorted, so equal populations
+    always serialize byte-identically (the run ledger digests these
+    bytes, and `repro regress` inputs are compared file-to-file)."""
     import json
 
-    return json.dumps(population_to_dict(population), indent=indent)
+    return json.dumps(population_to_dict(population), indent=indent,
+                      sort_keys=True)
 
 
 def population_from_json(text: str) -> "Any":

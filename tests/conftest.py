@@ -1,0 +1,12 @@
+"""Suite-wide defaults.
+
+The run ledger is on by default for real usage, but the test suite
+must not append hundreds of records to the developer's actual cache
+root — every engine call here would otherwise log itself.  Tests that
+exercise the ledger opt back in explicitly (``ledger=True`` or a
+monkeypatched ``REPRO_LEDGER``) against a tmp cache dir.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_LEDGER", "off")

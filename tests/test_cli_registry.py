@@ -14,7 +14,7 @@ from repro.cli import COMMANDS, Command, build_parser, command_table, main
 
 EXPECTED_COMMANDS = ("simulate", "tables", "population", "fig1", "report",
                      "families", "metrics", "pipeview", "tracediff",
-                     "checkpoint", "lint", "completion")
+                     "checkpoint", "runs", "regress", "lint", "completion")
 
 
 def test_registry_lists_every_command_in_order():
