@@ -1,0 +1,81 @@
+"""Throughput gate: the compiled-trace fast path must pay its way.
+
+Two benches time the same work on both execution paths (``fast=False``
+reference record-object loop vs ``fast=True`` flat-array loop), verify
+the results are identical, record KIPS into ``BENCH_engine.json`` (via
+the session ``bench_metrics`` channel), and *gate*: the population
+bench asserts fast >= 1.5x reference, the floor docs/performance.md
+advertises.  A regression that erodes the speedup fails here before it
+reaches users.
+
+Timing protocol: warm every trace memo first (one untimed run per
+path), then time only simulation — trace generation/compilation cost
+is what the fast path amortises away, so it must not pollute either
+side's timer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import run_population
+from repro.engine.runner import clear_caches, run
+from repro.serialization import population_to_json
+
+#: Population-bench shape: small enough for CI, big enough that the
+#: per-instruction loop dominates the measurement.
+POP = dict(n_slices=3, slice_length=6000, seed=2020, cache="off",
+           workers=1)
+
+SINGLE = dict(spec=("specint_like", 29, 40_000), generation="M3")
+
+#: The advertised floor (docs/performance.md); the gate the CI
+#: throughput job enforces.
+MIN_SPEEDUP = 1.5
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_single_run_throughput(bench_metrics):
+    spec, gen = SINGLE["spec"], SINGLE["generation"]
+    n = spec[2]
+    run(spec, gen, fast=False)  # warm the trace memo
+    ref, t_ref = _timed(lambda: run(spec, gen, fast=False))
+    fast, t_fast = _timed(lambda: run(spec, gen, fast=True))
+
+    import json
+    assert json.dumps(fast.metrics.snapshot().values, sort_keys=True) == \
+        json.dumps(ref.metrics.snapshot().values, sort_keys=True)
+
+    bench_metrics["single_run_kips_ref"] = n / 1000.0 / t_ref
+    bench_metrics["single_run_kips_fast"] = n / 1000.0 / t_fast
+    bench_metrics["single_run_speedup"] = t_ref / t_fast
+
+
+def test_population_throughput_gate(bench_metrics):
+    n_instr = POP["n_slices"] * POP["slice_length"] * 6  # six generations
+
+    def _run(fast):
+        clear_caches()
+        return run_population(fast=fast, **POP)
+
+    _run(False)  # warm the worker-side trace memos for both paths
+    _run(True)
+    ref, t_ref = _timed(lambda: _run(False))
+    fast, t_fast = _timed(lambda: _run(True))
+
+    assert population_to_json(fast) == population_to_json(ref)
+
+    kips_ref = n_instr / 1000.0 / t_ref
+    kips_fast = n_instr / 1000.0 / t_fast
+    bench_metrics["population_kips_ref"] = kips_ref
+    bench_metrics["population_kips_fast"] = kips_fast
+    bench_metrics["population_speedup"] = t_ref / t_fast
+
+    assert kips_fast >= MIN_SPEEDUP * kips_ref, (
+        f"fast path {kips_fast:.1f} KIPS < {MIN_SPEEDUP}x reference "
+        f"{kips_ref:.1f} KIPS (speedup {t_ref / t_fast:.2f}x)")

@@ -61,10 +61,17 @@ def _describe(record: Dict[str, Any]) -> str:
         detail = (f"{params.get('generation')} on "
                   f"{trace.get('family', trace.get('trace_name', '?'))} "
                   f"seed={trace.get('seed', '?')}")
-    wall = (record.get("engine", {}) or {}).get("wall_seconds")
+    engine = record.get("engine", {}) or {}
+    wall = engine.get("wall_seconds")
     wall_text = f" {wall:8.2f}s" if isinstance(wall, (int, float)) else ""
+    kips = engine.get("kips")
+    if isinstance(kips, (int, float)) and kips > 0:
+        kips_text = f" {kips:7.1f}k"
+    else:
+        # Pre-throughput records and fully-cached runs have no KIPS.
+        kips_text = f" {'-':>8s}"
     return (f"{record.get('id', '?'):<12s} {record.get('timestamp', '?')} "
-            f"{kind:<10s}{wall_text}  {detail}")
+            f"{kind:<10s}{wall_text}{kips_text}  {detail}")
 
 
 def _run_list(args: argparse.Namespace) -> int:

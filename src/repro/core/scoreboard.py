@@ -38,6 +38,7 @@ from ..metrics import formulas
 from ..metrics.registry import MetricRegistry, StatsView
 from ..observe.events import InstEvent
 from ..observe.sink import TraceSink
+from ..traces.compiled import CompiledTrace
 from ..traces.types import Kind, Trace, TraceRecord
 
 #: Execution latencies (cycles) for non-memory, non-FP classes.
@@ -78,21 +79,56 @@ class CoreStats(StatsView):
 
 
 class _PortGroup:
-    """A set of identical pipelined execution ports."""
+    """A set of identical pipelined execution ports.
 
-    __slots__ = ("free",)
+    ``issue`` used to rescan all ports for the minimum on every call
+    (O(ports) per instruction).  It now keeps a two-slot min tracker:
+    ``_best`` is the index of the lexicographic ``(free time, index)``
+    minimum — exactly the port the old first-minimum scan picked — and
+    ``_second`` the same minimum over the remaining ports.  Issuing
+    only bumps ``free[_best]``; a full rescan happens only when the
+    bumped port falls behind the runner-up.  Issue order is
+    bit-identical to the scan (pinned by
+    ``tests/test_fastpath.py::test_port_group_matches_reference_scan``).
+    """
+
+    __slots__ = ("free", "_best", "_second")
 
     def __init__(self, count: int) -> None:
         self.free = [0.0] * max(1, count)
+        self._rescan()
+
+    def _rescan(self) -> None:
+        """Recompute the two tracked minima (call after any bulk edit
+        of ``free``, e.g. a checkpoint restore)."""
+        free = self.free
+        best = 0
+        for i in range(1, len(free)):
+            if free[i] < free[best]:
+                best = i
+        second = -1
+        for i in range(len(free)):
+            if i != best and (second < 0 or free[i] < free[second]):
+                second = i
+        self._best = best
+        self._second = second
 
     def issue(self, ready: float, occupancy: float = 1.0) -> float:
         """Issue at the earliest port; returns the issue time."""
-        best = 0
-        for i in range(1, len(self.free)):
-            if self.free[i] < self.free[best]:
-                best = i
-        t = max(ready, self.free[best])
-        self.free[best] = t + occupancy
+        best = self._best
+        free = self.free
+        t = free[best]
+        if ready > t:
+            t = ready
+        free[best] = t + occupancy
+        second = self._second
+        if second >= 0:
+            ts = free[second]
+            nt = free[best]
+            # The bumped port keeps first-minimum only while it still
+            # precedes the runner-up lexicographically by (time, index).
+            if ts < nt or (ts == nt and second < best):
+                self._rescan()
         return t
 
 
@@ -199,11 +235,46 @@ class Scoreboard:
             return self._store
         return self._branch
 
+    def _dispatch_tables(self):
+        """16-entry per-kind latency and port tables for the flat loop —
+        ``lat[kind]``/``port[kind]`` reproduce :meth:`_exec_latency` and
+        :meth:`_port_for` entry for entry (memory kinds take their
+        latency from the hierarchy, so their ``lat`` slots are unused).
+        """
+        cfg = self.config
+        zcm = cfg.has_zero_cycle_moves
+        fmac, fmul, fadd = cfg.fp_latencies
+        lat: List[float] = [_LAT_ALU] * 16
+        lat[int(Kind.MOV)] = 0.0 if zcm else _LAT_ALU
+        lat[int(Kind.MUL)] = _LAT_MUL
+        lat[int(Kind.DIV)] = _LAT_DIV
+        lat[int(Kind.FP_ADD)] = fadd
+        lat[int(Kind.FP_MUL)] = fmul
+        lat[int(Kind.FP_MAC)] = fmac
+        port: List[Optional[_PortGroup]] = [self._branch] * 16
+        port[int(Kind.ALU)] = self._simple
+        port[int(Kind.NOP)] = self._simple
+        port[int(Kind.MOV)] = None if zcm else self._simple
+        port[int(Kind.MUL)] = self._complex
+        port[int(Kind.DIV)] = self._div
+        port[int(Kind.FP_ADD)] = self._fp
+        port[int(Kind.FP_MUL)] = self._fp
+        port[int(Kind.FP_MAC)] = self._fmac
+        port[int(Kind.LOAD)] = self._load
+        port[int(Kind.STORE)] = self._store
+        return lat, port
+
     # -- the main loop -----------------------------------------------------------
 
     def run(self, trace: Trace,
             on_window: Optional[Callable[[], None]] = None,
             window_interval: int = 0) -> CoreStats:
+        # Compiled traces take the flat-array fast loop unless a flight
+        # recorder is attached (the recorder wants record objects and a
+        # per-record emit; correctness is identical either way, so the
+        # rare traced run just uses the reference loop via __iter__).
+        if isinstance(trace, CompiledTrace) and self.sink is None:
+            return self._run_compiled(trace, on_window, window_interval)
         cfg = self.config
         stats = self.stats
         # Hot-loop aliases for the registry cells: `cell.value += 1` is a
@@ -434,6 +505,264 @@ class Scoreboard:
         c_cycles.value = max(last_completion, fetch_time, 1.0)
         return stats
 
+    def _run_compiled(self, trace: CompiledTrace,
+                      on_window: Optional[Callable[[], None]] = None,
+                      window_interval: int = 0) -> CoreStats:
+        """Flat-array twin of the reference loop in :meth:`run`.
+
+        Iterates the compiled trace's parallel columns with per-kind
+        dispatch tables and hoisted locals instead of per-record
+        attribute loads and enum comparisons.  Every computed value —
+        dispatch/ready/issue/completion times, stall attribution,
+        window placement — is produced by the same expressions in the
+        same order as the reference loop; the only structural
+        difference is that the instruction counter is published in
+        batches (before each window boundary and at loop exit) instead
+        of per record, which no mid-loop reader can observe.  Branch
+        records reach the branch unit as full ``TraceRecord`` objects
+        via the compiled trace's sparse branch list.  Bit-identity
+        with the reference loop is pinned by ``tests/test_fastpath.py``.
+        """
+        cfg = self.config
+        stats = self.stats
+        c_instr = stats.cell("instructions")
+        c_cycles = stats.cell("cycles")
+        c_loads = stats.cell("loads")
+        c_stores = stats.cell("stores")
+        c_mispredicts = stats.cell("branch_mispredicts")
+        c_bubbles = stats.cell("fetch_bubble_cycles")
+        c_mp_stall = stats.cell("mispredict_stall_cycles")
+        c_ic_stall = stats.cell("icache_stall_cycles")
+        c_cascaded = stats.cell("cascaded_loads")
+        c_zcm = stats.cell("zero_cycle_moves")
+        c_st_mp = stats.cell("stall_mispredict_cycles")
+        c_st_fe = stats.cell("stall_frontend_cycles")
+        c_st_mem = stats.cell("stall_memory_cycles")
+
+        lat_for, port_for = self._dispatch_tables()
+
+        # Column aliases — one decode already happened in compile_trace.
+        pcs = trace.pc
+        kinds = trace.kind
+        lines = trace.line
+        s1s = trace.src1
+        s2s = trace.src2
+        addrs = trace.addr
+        brs = trace.is_branch
+        brecs = trace.branch_records()
+        kload = int(Kind.LOAD)
+        kstore = int(Kind.STORE)
+        kdiv = int(Kind.DIV)
+
+        fetch_width = cfg.fetch_width
+        rob_size = cfg.rob_size
+        l1_hit = cfg.l1_hit_latency
+        mp_penalty = cfg.mispredict_penalty
+        mp_penalty_f = float(mp_penalty)
+        cascading = cfg.has_load_load_cascading
+        icache = self.icache
+        memory = self.memory
+        branch_unit = self.branch_unit
+        process_branch = (branch_unit.process_branch
+                          if branch_unit is not None else None)
+        on_branch = self.on_branch
+
+        completions = self._completions  # ring buffer
+        is_load_at = self._is_load_at
+        rob = self._rob  # retire-time ring
+        rob_pos = self._rob_pos
+        fetch_time = self._fetch_time
+        group_count = self._group_count
+        group_branches = self._group_branches
+        last_completion = self._last_completion
+        current_fetch_line = self._current_fetch_line
+        i = self._index
+        windowing = window_interval > 0 and on_window is not None
+        if windowing and self._until_window < 0:
+            self._until_window = window_interval
+        until_window = self._until_window if windowing else -1
+
+        # Batched instruction counter: the reference loop bumps the cell
+        # per record; nothing reads it between window boundaries, so the
+        # fast loop materializes the exact value only where it is read.
+        base_index = i
+        base_instr = c_instr.value
+
+        for j in range(len(pcs)):
+            k = kinds[j]
+            ic_stall = 0.0
+            branch_result = None
+
+            # ---- fetch/dispatch supply -----------------------------------
+            if group_count >= fetch_width:
+                fetch_time += 1.0
+                group_count = 0
+                group_branches = 0
+            if icache is not None:
+                line = lines[j]
+                if line != current_fetch_line:
+                    current_fetch_line = line
+                    stall = icache.fetch_line(pcs[j], now=fetch_time)
+                    if stall:
+                        fetch_time += stall
+                        c_ic_stall.value += stall
+                        group_count = 0
+                        group_branches = 0
+                        ic_stall = stall
+            dispatch = fetch_time
+            # ROB occupancy: the slot reused now must have retired.
+            oldest = rob[rob_pos]
+            if oldest > dispatch:
+                dispatch = oldest
+                fetch_time = oldest  # front end backs up behind the ROB
+                group_count = 0
+                group_branches = 0
+            group_count += 1
+
+            # ---- dependences (two source slots, unrolled) ----------------
+            ready = dispatch
+            dist = s1s[j]
+            if 0 < dist <= _DEP_WINDOW and dist <= i:
+                slot = (i - dist) % _DEP_WINDOW
+                t = completions[slot]
+                if cascading and k == kload and is_load_at[slot]:
+                    # Load-load cascading: forwarded one cycle early.
+                    t -= 1.0
+                    c_cascaded.value += 1
+                if t > ready:
+                    ready = t
+            dist = s2s[j]
+            if 0 < dist <= _DEP_WINDOW and dist <= i:
+                slot = (i - dist) % _DEP_WINDOW
+                t = completions[slot]
+                if cascading and k == kload and is_load_at[slot]:
+                    t -= 1.0
+                    c_cascaded.value += 1
+                if t > ready:
+                    ready = t
+
+            # ---- issue + execute -----------------------------------------
+            port = port_for[k]
+            if port is None:
+                issue = ready
+                c_zcm.value += 1
+            else:
+                issue = port.issue(ready,
+                                   _LAT_DIV if k == kdiv else 1.0)
+            if k == kload:
+                c_loads.value += 1
+                if memory is not None:
+                    latency = memory.access(pcs[j], addrs[j], now=issue,
+                                            is_store=False)
+                else:
+                    latency = l1_hit
+            elif k == kstore:
+                c_stores.value += 1
+                if memory is not None:
+                    memory.access(pcs[j], addrs[j], now=issue,
+                                  is_store=True)
+                latency = 1.0  # store-buffer commit, off the critical path
+            else:
+                latency = lat_for[k]
+            completion = issue + latency
+            slot = i % _DEP_WINDOW
+            completions[slot] = completion
+            is_load_at[slot] = k == kload
+
+            # ---- retirement bookkeeping ----------------------------------
+            rob[rob_pos] = completion
+            rob_pos = (rob_pos + 1) % rob_size
+            if completion > last_completion:
+                last_completion = completion
+
+            # ---- branch outcome into the front end ------------------------
+            if brs[j]:
+                rec = brecs[j]
+                group_branches += 1
+                if process_branch is not None:
+                    result = process_branch(rec)
+                    branch_result = result
+                    if result.mispredicted:
+                        c_mispredicts.value += 1
+                        restart = completion + mp_penalty
+                        c_mp_stall.value += max(0.0, restart - fetch_time)
+                        fetch_time = max(fetch_time, restart)
+                        group_count = 0
+                        group_branches = 0
+                    elif rec.taken:
+                        if result.bubbles:
+                            c_bubbles.value += result.bubbles
+                            fetch_time += result.bubbles
+                        # A taken branch ends the fetch group.
+                        fetch_time += 1.0
+                        group_count = 0
+                        group_branches = 0
+                    elif group_branches >= 2:
+                        # Two predictions per cycle max (Section IV-A).
+                        fetch_time += 1.0
+                        group_count = 0
+                        group_branches = 0
+                else:
+                    if rec.taken:
+                        fetch_time += 1.0
+                        group_count = 0
+                        group_branches = 0
+                if on_branch is not None:
+                    on_branch(rec, i)
+
+            # ---- stall attribution (CPI-stack buckets) -------------------
+            # Same priority as the reference loop (mispredict > front end
+            # > memory); buckets are small ints here since no InstEvent
+            # needs the names.
+            bucket = 0  # base
+            stall = 0.0
+            if ic_stall:
+                bucket = 1  # frontend_bubbles
+                stall = ic_stall
+            if k == kload:
+                exposed = latency - l1_hit
+                if exposed > stall:
+                    bucket = 2  # memory
+                    stall = exposed
+            if branch_result is not None:
+                if branch_result.mispredicted:
+                    bucket = 3  # mispredict
+                    stall = mp_penalty_f
+                elif branch_result.bubbles > stall:
+                    bucket = 1
+                    stall = float(branch_result.bubbles)
+            if stall:
+                if bucket == 3:
+                    c_st_mp.value += stall
+                elif bucket == 1:
+                    c_st_fe.value += stall
+                else:
+                    c_st_mem.value += stall
+
+            # ---- metrics window boundary ---------------------------------
+            i += 1
+            if windowing:
+                until_window -= 1
+                if until_window == 0:
+                    until_window = window_interval
+                    c_instr.value = base_instr + (i - base_index)
+                    c_cycles.value = max(last_completion, fetch_time, 1.0)
+                    on_window()
+
+        # Write the scalar execution state back for checkpoint/resume.
+        self._rob_pos = rob_pos
+        self._fetch_time = fetch_time
+        self._group_count = group_count
+        self._group_branches = group_branches
+        self._last_completion = last_completion
+        self._current_fetch_line = current_fetch_line
+        self._index = i
+        if windowing:
+            self._until_window = until_window
+        c_instr.value = base_instr + (i - base_index)
+        c_cycles.value = max(last_completion, fetch_time, 1.0)
+        return stats
+
     # -- checkpointing (state_dict protocol) --------------------------------
     # The branch unit, memory hierarchy, icache, registry and sink are
     # wired in by the owner (the simulator) and checkpointed there; this
@@ -470,6 +799,7 @@ class Scoreboard:
                     f"scoreboard: port group {name} has {len(group.free)} "
                     f"ports, checkpoint has {len(free)}")
             group.free[:] = [float(t) for t in free]
+            group._rescan()
         if len(state["rob"]) != len(self._rob):
             raise ValueError(
                 f"scoreboard: ROB size {len(self._rob)} != checkpoint "

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..config import GenerationConfig, get_generation
+from ..fastpath import fast_enabled
 from ..frontend.predictor import BranchStats, BranchUnit
 from ..memory.hierarchy import MemoryHierarchy, MemoryStats
 from ..memory.icache import InstructionCache
@@ -78,7 +79,8 @@ class GenerationSimulator:
     """
 
     def __init__(self, config: GenerationConfig, corunners: int = 0,
-                 trace_sink: Optional[TraceSink] = None) -> None:
+                 trace_sink: Optional[TraceSink] = None,
+                 fast: Optional[bool] = None) -> None:
         if isinstance(config, str):
             config = get_generation(config)
         self.config = config
@@ -87,10 +89,15 @@ class GenerationSimulator:
         #: Optional flight recorder shared by every component; ``None``
         #: (the default) keeps all emission sites disabled.
         self.trace_sink = trace_sink
+        #: Fast-path state (``None`` defers to ``REPRO_FAST``); forwarded
+        #: to the branch unit, where it enables the pure-hash memo layer.
+        #: Results are identical either way (see ``repro.fastpath``).
+        self.fast = fast_enabled(fast)
         self.ledger = EnergyLedger(registry=self.metrics)
         self.branch_unit = BranchUnit(config, ledger=self.ledger,
                                       registry=self.metrics,
-                                      sink=trace_sink)
+                                      sink=trace_sink,
+                                      fast=self.fast)
         self.memory = MemoryHierarchy(config, ledger=self.ledger,
                                       corunners=corunners,
                                       registry=self.metrics,
@@ -161,7 +168,7 @@ class GenerationSimulator:
             # Legacy front end: every block pays fetch + decode energy.
             # The trailing block (after the last branch) is charged once
             # per *run*, not once per segment.
-            blocks = sum(1 for r in trace if r.is_branch)
+            blocks = trace.branch_count
             if not self._legacy_base_charged:
                 blocks += 1
                 self._legacy_base_charged = True

@@ -21,6 +21,15 @@ Writes are atomic (temp file + ``os.replace``); unreadable entries are
 treated as misses and deleted.  Invalidation is purely key-based: a new
 package version, schema version, or any config/trace field change yields
 a different fingerprint, and stale entries are simply never read again.
+
+The cache root also hosts the **compiled-trace store**
+(:class:`CompiledTraceStore`): binary :class:`~repro.traces.compiled
+.CompiledTrace` blobs under ``<cache_dir>/ctraces/<fp[:2]>/<fp>.ctrace``,
+keyed by :func:`~repro.traces.compiled.compiled_fingerprint` (spec
+triple + compiled format version + package version), so workers load a
+decoded trace instead of regenerating and re-decoding it.  Same write
+discipline as the task tier — atomic writes, corrupt/truncated entries
+deleted and treated as misses (the caller regenerates from the spec).
 """
 
 from __future__ import annotations
@@ -134,3 +143,91 @@ class TaskCache:
                     os.unlink(tmp)
         except OSError:  # pragma: no cover - read-only cache dir etc.
             pass
+
+
+# ---------------------------------------------------------------------------
+# Compiled-trace store
+# ---------------------------------------------------------------------------
+
+#: Compiled-trace blobs live beside (never inside) the task tier.
+CTRACE_DIRNAME = "ctraces"
+
+
+class CompiledTraceStore:
+    """On-disk store of decode-once compiled traces (see module doc).
+
+    Unlike :class:`TaskCache` this tier has no memory mode of its own —
+    the in-process layer is ``repro.engine.tasks._CTRACE_MEMO`` (a thin
+    LRU over this store); the store's job is cross-process and
+    cross-invocation reuse.  All IO failures degrade to misses: the
+    caller always holds the spec and can regenerate.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        self.cache_dir = (Path(cache_dir) if cache_dir is not None
+                          else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.cache_dir / CTRACE_DIRNAME / fingerprint[:2] / (
+            fingerprint + ".ctrace")
+
+    def get(self, fingerprint: str):
+        """The stored :class:`~repro.traces.compiled.CompiledTrace`, or
+        ``None``; corrupt/truncated entries are deleted on the way out
+        so the caller's regeneration rewrites them."""
+        from ..traces.compiled import CompiledTraceError, load_bytes
+
+        path = self._path(fingerprint)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            compiled = load_bytes(data)
+        except CompiledTraceError:
+            try:  # corrupt entry: drop it so it is rewritten
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return compiled
+
+    def put(self, fingerprint: str, compiled) -> None:
+        """Atomically persist one compiled trace (best effort — an
+        unwritable store must never fail a run)."""
+        from ..traces.compiled import dump_bytes
+
+        path = self._path(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(dump_bytes(compiled))
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):  # pragma: no cover - replace failed
+                    os.unlink(tmp)
+        except OSError:  # pragma: no cover - read-only cache dir etc.
+            pass
+
+
+def clear_ctrace_disk(cache_dir: Optional[os.PathLike] = None) -> int:
+    """Delete all stored compiled traces; returns the number removed."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    removed = 0
+    ctrace_root = root / CTRACE_DIRNAME
+    if not ctrace_root.is_dir():
+        return 0
+    for path in ctrace_root.glob("*/*.ctrace"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - racing deleters
+            pass
+    return removed

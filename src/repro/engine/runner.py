@@ -22,6 +22,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..config import (GENERATION_ORDER, GenerationConfig, get_generation)
+from ..fastpath import fast_enabled
 from ..metrics.windows import DEFAULT_WINDOW_INSTRUCTIONS
 from ..observe.ledger import ledger_enabled
 from ..observe.profile import TaskTiming
@@ -55,14 +56,32 @@ class EngineStats:
     task_timings: List[TaskTiming] = field(default_factory=list)
     #: Per-task-kind cache accounting: ``{"population": {"hits": h,
     #: "executed": e}, "warmup": ...}`` — the warmup-vs-measure (vs
-    #: pipetrace) hit-rate view ``describe_profile`` renders.
+    #: pipetrace) hit-rate view ``describe_profile`` renders.  The
+    #: pseudo-kind ``"trace_compile"`` counts prepared-trace reuse:
+    #: hits = memo + compiled-store hits, executed = traces built.
     kind_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Trace instructions across all tasks / across executed tasks only
+    #: (cache hits retire no instructions, so ``kips`` uses the latter).
+    instructions_total: int = 0
+    instructions_executed: int = 0
+    #: Worker-side trace-preparation counters for this run (deltas of
+    #: ``repro.engine.tasks.trace_stats_snapshot``): generate/compile
+    #: seconds, build counts, memo/store hit counts.
+    trace_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def tasks_per_second(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
         return self.tasks_total / self.wall_seconds
+
+    @property
+    def kips(self) -> float:
+        """Simulated throughput: kilo-instructions retired per wall
+        second, counting executed (non-cached) tasks only."""
+        if self.wall_seconds <= 0 or self.instructions_executed <= 0:
+            return 0.0
+        return self.instructions_executed / 1000.0 / self.wall_seconds
 
     def describe(self) -> str:
         return (
@@ -79,9 +98,13 @@ class EngineStats:
         self.cache_hits += other.cache_hits
         self.executed += other.executed
         self.wall_seconds += other.wall_seconds
+        self.instructions_total += other.instructions_total
+        self.instructions_executed += other.instructions_executed
         for phase, seconds in other.phase_breakdown.items():
             self.phase_breakdown[phase] = (
                 self.phase_breakdown.get(phase, 0.0) + seconds)
+        for key, value in other.trace_stats.items():
+            self.trace_stats[key] = self.trace_stats.get(key, 0) + value
         self.task_timings.extend(other.task_timings)
         for kind, counts in other.kind_stats.items():
             mine = self.kind_stats.setdefault(
@@ -130,6 +153,9 @@ class PopulationEngine:
         fingerprint_s = t_lookup - t0
         done = 0
         kind_stats: Dict[str, Dict[str, int]] = {}
+        instr_total = 0
+        instr_exec = 0
+        trace_stats: Dict[str, float] = {}
 
         monitor: Optional[TelemetryMonitor] = None
         stop_watchdog: Optional[Callable[[], None]] = None
@@ -154,6 +180,7 @@ class PopulationEngine:
                 if hit is not None:
                     results[i] = hit
                     done += 1
+                    instr_total += task_instructions(payloads[i])
                     _account(payloads[i], cached=True)
                     if monitor is not None:
                         monitor.on_result(
@@ -170,11 +197,18 @@ class PopulationEngine:
             store_s = 0.0
             timings: List[TaskTiming] = []
             if missing:
-                for i, result, seconds, pid in self._execute(payloads,
-                                                             missing):
+                for i, result, seconds, pid, tstats in self._execute(
+                        payloads, missing):
                     results[i] = result
                     timings.append(
                         TaskTiming(task_label(payloads[i]), seconds))
+                    n_instr = task_instructions(payloads[i])
+                    instr_total += n_instr
+                    instr_exec += n_instr
+                    if tstats:
+                        for key, value in tstats.items():
+                            trace_stats[key] = (
+                                trace_stats.get(key, 0) + value)
                     _account(payloads[i], cached=False)
                     if monitor is not None:
                         monitor.on_result(
@@ -194,6 +228,28 @@ class PopulationEngine:
             if monitor is not None:
                 monitor.finish()
 
+        phase_breakdown = {
+            "fingerprint": fingerprint_s,
+            "cache_lookup": lookup_s,
+            "execute": execute_s,
+            "cache_store": store_s,
+        }
+        # Worker-side trace preparation happens *inside* the execute
+        # phase; break it out as sub-phases so --profile can separate
+        # generate/compile time from simulation proper.
+        gen_s = trace_stats.get("generate_seconds", 0.0)
+        comp_s = trace_stats.get("compile_seconds", 0.0)
+        if gen_s:
+            phase_breakdown["trace_generate"] = gen_s
+        if comp_s:
+            phase_breakdown["trace_compile"] = comp_s
+        prepared = int(trace_stats.get("memo_hits", 0)
+                       + trace_stats.get("store_hits", 0))
+        built = int(trace_stats.get("generated", 0)
+                    + trace_stats.get("compiled", 0))
+        if prepared or built:
+            kind_stats["trace_compile"] = {"hits": prepared,
+                                           "executed": built}
         stats = EngineStats(
             tasks_total=total,
             cache_hits=total - len(missing),
@@ -201,28 +257,29 @@ class PopulationEngine:
             wall_seconds=time.perf_counter() - t0,
             workers=self.workers,
             cache_mode=self.cache.mode,
-            phase_breakdown={
-                "fingerprint": fingerprint_s,
-                "cache_lookup": lookup_s,
-                "execute": execute_s,
-                "cache_store": store_s,
-            },
+            phase_breakdown=phase_breakdown,
             task_timings=timings,
             kind_stats=kind_stats,
+            instructions_total=instr_total,
+            instructions_executed=instr_exec,
+            trace_stats=trace_stats,
         )
         self.last_stats = stats
         return [r for r in results if r is not None], stats
 
     def _execute(self, payloads: Sequence[Dict[str, Any]],
                  missing: Sequence[int]):
-        """Yield ``(index, result, wall seconds, pid)`` for every
-        cache-missing payload.  Seconds and pid are measured inside the
-        process that ran the task (worker-side under the pool) — the
-        telemetry heartbeat riding the result channel."""
+        """Yield ``(index, result, wall seconds, pid, trace_stats)`` for
+        every cache-missing payload.  Seconds and pid are measured inside
+        the process that ran the task (worker-side under the pool) — the
+        telemetry heartbeat riding the result channel; trace_stats is the
+        task's trace-preparation counter delta (``None`` from legacy
+        3-tuple heartbeats, e.g. tests monkeypatching the heartbeat)."""
         if self.workers <= 1 or len(missing) <= 1:
             for i in missing:
-                result, seconds, pid = execute_task_heartbeat(payloads[i])
-                yield i, result, seconds, pid
+                out = execute_task_heartbeat(payloads[i])
+                yield (i, out[0], out[1], out[2],
+                       out[3] if len(out) > 3 else None)
             return
         n_workers = min(self.workers, len(missing))
         # Contiguous chunks keep same-trace tasks on the same worker so
@@ -230,11 +287,12 @@ class PopulationEngine:
         chunksize = max(1, len(missing) // (n_workers * 4))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             ordered = [payloads[i] for i in missing]
-            for i, (result, seconds, pid) in zip(
+            for i, out in zip(
                     missing,
                     pool.map(execute_task_heartbeat, ordered,
                              chunksize=chunksize)):
-                yield i, result, seconds, pid
+                yield (i, out[0], out[1], out[2],
+                       out[3] if len(out) > 3 else None)
 
     def _report(self, done: int, total: int) -> None:
         if self.progress is not None:
@@ -295,6 +353,7 @@ def execute_population(
     warmup: int = 0,
     telemetry: Optional[TelemetryConfig] = None,
     ledger: Optional[bool] = None,
+    fast: Optional[bool] = None,
 ) -> Tuple[PopulationResult, EngineStats]:
     """Run the standard suite on each generation, returning result+stats.
 
@@ -317,6 +376,11 @@ def execute_population(
     warnings; ``ledger`` controls the run-ledger append (default: on
     unless ``REPRO_LEDGER=off``).  Both are pure observation: results
     are bit-identical with either on or off.
+
+    ``fast`` selects the compiled-trace fast path (``None`` defers to
+    ``REPRO_FAST``; see ``repro.fastpath``).  Results are bit-identical
+    either way, so the knob is transport-only: it never enters task
+    fingerprints, the population memo key, or archive digests.
     """
     gens = tuple(generations) if generations else GENERATION_ORDER
     configs = [get_generation(g) for g in gens]
@@ -335,6 +399,7 @@ def execute_population(
             "window_interval": window_interval,
             "window_counters": list(counters) if counters else None,
             "warmup": warmup,
+            "fast": fast,
         }
 
     if cache != "off":
@@ -354,7 +419,7 @@ def execute_population(
                 payloads = [population_task(config, spec,
                                             window_interval=window_interval,
                                             window_counters=counters,
-                                            warmup=warmup)
+                                            warmup=warmup, fast=fast)
                             for spec in standard_suite_specs(
                                 n_slices=n_slices,
                                 slice_length=slice_length, seed=seed)
@@ -373,7 +438,7 @@ def execute_population(
     payloads = [population_task(config, spec,
                                 window_interval=window_interval,
                                 window_counters=counters,
-                                warmup=warmup)
+                                warmup=warmup, fast=fast)
                 for spec in specs for config in configs]
     warmup_stats: Optional[EngineStats] = None
     if warmup > 0:
@@ -384,7 +449,7 @@ def execute_population(
         warmups = [warmup_task(config, spec,
                                window_interval=window_interval,
                                window_counters=counters,
-                               warmup=warmup)
+                               warmup=warmup, fast=fast)
                    for spec in specs for config in configs]
         checkpoints, warmup_stats = engine.run_payloads(warmups)
         for payload, state in zip(payloads, checkpoints):
@@ -421,6 +486,7 @@ def run_population(
     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
     window_counters: Optional[Sequence[str]] = None,
     warmup: int = 0,
+    fast: Optional[bool] = None,
 ) -> PopulationResult:
     """Simulate the standard suite on each generation.
 
@@ -440,7 +506,7 @@ def run_population(
         generations=generations, workers=workers, cache=cache,
         cache_dir=cache_dir, progress=progress,
         window_interval=window_interval, window_counters=window_counters,
-        warmup=warmup)
+        warmup=warmup, fast=fast)
     return result
 
 
@@ -453,7 +519,8 @@ def run(trace_or_spec: TraceLike,
         corunners: int = 0,
         warmup: int = 0,
         trace_to=None,
-        ledger: Optional[bool] = None):
+        ledger: Optional[bool] = None,
+        fast: Optional[bool] = None):
     """Simulate one trace on one generation — the one-stop entry point.
 
     ``trace_or_spec`` may be a materialized :class:`~repro.traces.types
@@ -480,17 +547,30 @@ def run(trace_or_spec: TraceLike,
     :func:`repro.observe.trace`).  Default ``None``: tracing off, the
     zero-overhead path.  With ``warmup``, the warmup prefix runs
     untraced — the captured stream covers the measure phase only.
+
+    ``fast`` selects the compiled-trace fast path (``None`` defers to
+    ``REPRO_FAST``; bit-identical results either way — see
+    ``repro.fastpath``).
     """
     from ..core import GenerationSimulator
 
     t0 = time.perf_counter()
+    eff_fast = fast_enabled(fast)
     config = (generation if isinstance(generation, GenerationConfig)
               else get_generation(generation))
     if isinstance(trace_or_spec, Trace):
         trace, spec = trace_or_spec, None
     else:
         spec = coerce_spec(trace_or_spec)
-        trace = spec.build()
+        if eff_fast and trace_to is None:
+            # Fast path: decode once, reuse via the in-process memo and
+            # (when enabled) the on-disk compiled-trace store.  Event
+            # tracing wants record objects, so it keeps the plain build.
+            from .tasks import _build_compiled
+
+            trace = _build_compiled(spec.to_dict())
+        else:
+            trace = spec.build()
 
     warm_state = None
     if warmup and spec is not None:
@@ -498,12 +578,12 @@ def run(trace_or_spec: TraceLike,
 
         warm_state = warmup_checkpoint(
             warmup_task(config, spec, corunners=corunners,
-                        warmup=int(warmup)))
+                        warmup=int(warmup), fast=fast))
         trace = trace.slice(int(warmup))
 
     def build_and_run(sink=None):
         sim = GenerationSimulator(config, corunners=corunners,
-                                  trace_sink=sink)
+                                  trace_sink=sink, fast=eff_fast)
         if warm_state is not None:
             sim.restore(warm_state)
         return sim.run(trace)
@@ -527,6 +607,7 @@ def run(trace_or_spec: TraceLike,
             spec=(spec.to_dict() if spec is not None
                   else {"trace_name": trace.name}),
             corunners=corunners, warmup=int(warmup),
-            wall_seconds=time.perf_counter() - t0)
+            wall_seconds=time.perf_counter() - t0,
+            instructions=len(trace))
         ledger_mod.append_record(record)
     return result

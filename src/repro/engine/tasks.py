@@ -39,10 +39,14 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..config import GenerationConfig
+from ..fastpath import fast_enabled
 from ..metrics.windows import DEFAULT_WINDOW_INSTRUCTIONS
 from ..serialization import config_from_dict, config_to_dict
+from ..traces.compiled import (CompiledTrace, compile_trace,
+                               compiled_fingerprint)
 from ..traces.spec import TraceSpec
 from ..traces.types import Trace
+from .cache import CompiledTraceStore
 
 #: Bump when the result payload format or task semantics change.
 #: History: 1 = flat scalar rows; 2 = schema-versioned rows carrying
@@ -61,16 +65,23 @@ def population_task(config: GenerationConfig, spec: TraceSpec,
                     window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
                     window_counters: Optional[Sequence[str]] = None,
                     warmup: int = 0,
+                    fast: Optional[bool] = None,
                     ) -> Dict[str, Any]:
     """One full-simulator run; ``warmup`` > 0 splits it into a cached
     warmup-prefix checkpoint (see :func:`warmup_task`) plus a measure
     phase resumed from that snapshot.  Results are bit-identical either
-    way — warmup only changes how the work is scheduled and cached."""
+    way — warmup only changes how the work is scheduled and cached.
+
+    ``fast`` overrides the worker's ``REPRO_FAST`` environment for this
+    task.  It travels as the transport-only ``_fast`` key — excluded
+    from the fingerprint, because the fast and reference paths produce
+    bit-identical results (see :mod:`repro.fastpath`).
+    """
     if not 0 <= warmup < spec.n_instructions:
         raise ValueError(
             f"warmup must be in [0, {spec.n_instructions}) for this "
             f"trace, got {warmup}")
-    return {
+    payload = {
         "kind": "population",
         "config": config_to_dict(config),
         "trace": spec.to_dict(),
@@ -80,6 +91,9 @@ def population_task(config: GenerationConfig, spec: TraceSpec,
                             if window_counters is not None else None),
         "warmup": warmup,
     }
+    if fast is not None:
+        payload["_fast"] = bool(fast)
+    return payload
 
 
 def warmup_task(config: GenerationConfig, spec: TraceSpec,
@@ -87,16 +101,18 @@ def warmup_task(config: GenerationConfig, spec: TraceSpec,
                 window_interval: int = DEFAULT_WINDOW_INSTRUCTIONS,
                 window_counters: Optional[Sequence[str]] = None,
                 warmup: int = 0,
+                fast: Optional[bool] = None,
                 ) -> Dict[str, Any]:
     """Simulate the first ``warmup`` instructions and return the
     simulator checkpoint document — the snapshot measure phases resume
     from.  The window configuration rides along because the checkpoint
-    carries the (partially filled) window recorder."""
+    carries the (partially filled) window recorder.  ``fast`` as in
+    :func:`population_task` (transport-only, fingerprint-invariant)."""
     if not 0 < warmup < spec.n_instructions:
         raise ValueError(
             f"warmup must be in (0, {spec.n_instructions}) for this "
             f"trace, got {warmup}")
-    return {
+    payload = {
         "kind": "warmup",
         "config": config_to_dict(config),
         "trace": spec.to_dict(),
@@ -106,6 +122,9 @@ def warmup_task(config: GenerationConfig, spec: TraceSpec,
                             if window_counters is not None else None),
         "warmup": warmup,
     }
+    if fast is not None:
+        payload["_fast"] = bool(fast)
+    return payload
 
 
 def pipetrace_task(config: GenerationConfig, spec: TraceSpec,
@@ -159,6 +178,40 @@ def task_fingerprint(payload: Dict[str, Any]) -> str:
 # Worker side
 # ---------------------------------------------------------------------------
 
+#: Environment switch for the on-disk compiled-trace store (default on;
+#: the test suite defaults it off via ``tests/conftest.py`` so plain
+#: test runs never write to the developer's real cache root).
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+_STORE_DISABLE_VALUES = ("0", "off", "no", "false")
+
+
+def trace_store_enabled() -> bool:
+    value = os.environ.get(TRACE_STORE_ENV, "").strip().lower()
+    return value not in _STORE_DISABLE_VALUES
+
+
+#: Worker-side trace-preparation accounting.  A fork-local counter dict
+#: (sanctioned by simlint SIM012's ``worker_state_allow``): per-task
+#: *deltas* ride the heartbeat channel back to the host (see
+#: :func:`execute_task_heartbeat`), where ``EngineStats`` folds them
+#: into ``phase_breakdown``/``trace_stats`` — the counters themselves
+#: never touch a result payload.
+_TRACE_STATS: Dict[str, float] = {
+    "generate_seconds": 0.0,  # spec.build() wall time
+    "compile_seconds": 0.0,   # compile_trace() wall time
+    "generated": 0,           # traces materialized from specs
+    "compiled": 0,            # compile passes performed
+    "memo_hits": 0,           # in-process reuses (trace or compiled memo)
+    "store_hits": 0,          # compiled-trace store loads
+    "store_misses": 0,        # store lookups that fell through
+}
+
+
+def trace_stats_snapshot() -> Dict[str, float]:
+    """A copy of this process's trace-preparation counters."""
+    return dict(_TRACE_STATS)
+
+
 #: Per-process memo of recently built traces.  Tasks are submitted
 #: trace-major (all generations of a trace adjacent), so a small LRU lets
 #: a worker regenerate each trace once instead of once per generation.
@@ -171,13 +224,66 @@ def _build_trace(spec_dict: Dict[str, Any]) -> Trace:
     key = spec.key()
     trace = _TRACE_MEMO.get(key)
     if trace is None:
+        t0 = time.perf_counter()
         trace = spec.build()
+        _TRACE_STATS["generate_seconds"] += time.perf_counter() - t0
+        _TRACE_STATS["generated"] += 1
         _TRACE_MEMO[key] = trace
         while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
             _TRACE_MEMO.popitem(last=False)
     else:
         _TRACE_MEMO.move_to_end(key)
+        _TRACE_STATS["memo_hits"] += 1
     return trace
+
+
+#: Per-process memo of compiled traces — the thin LRU over
+#: :class:`~repro.engine.cache.CompiledTraceStore`.  One compiled trace
+#: serves all six generations of a population sweep on this worker.
+_CTRACE_MEMO: "OrderedDict[Tuple[str, int, int], CompiledTrace]" = \
+    OrderedDict()
+
+
+def _build_compiled(spec_dict: Dict[str, Any]) -> CompiledTrace:
+    """Memo -> store -> generate+compile, cheapest source first."""
+    spec = TraceSpec(**spec_dict)
+    key = spec.key()
+    compiled = _CTRACE_MEMO.get(key)
+    if compiled is not None:
+        _CTRACE_MEMO.move_to_end(key)
+        _TRACE_STATS["memo_hits"] += 1
+        return compiled
+    store = CompiledTraceStore() if trace_store_enabled() else None
+    fp = compiled_fingerprint(*key) if store is not None else None
+    if store is not None:
+        compiled = store.get(fp)
+        if compiled is not None and (len(compiled) != spec.n_instructions
+                                     or compiled.family != spec.family):
+            compiled = None  # fingerprint collision / foreign entry
+        if compiled is not None:
+            _TRACE_STATS["store_hits"] += 1
+        else:
+            _TRACE_STATS["store_misses"] += 1
+    if compiled is None:
+        trace = _build_trace(spec_dict)
+        t0 = time.perf_counter()
+        compiled = compile_trace(trace)
+        _TRACE_STATS["compile_seconds"] += time.perf_counter() - t0
+        _TRACE_STATS["compiled"] += 1
+        if store is not None:
+            store.put(fp, compiled)
+    _CTRACE_MEMO[key] = compiled
+    while len(_CTRACE_MEMO) > _TRACE_MEMO_CAP:
+        _CTRACE_MEMO.popitem(last=False)
+    return compiled
+
+
+def _payload_fast(payload: Dict[str, Any]) -> bool:
+    """Effective fast-path state for one payload: the transport-only
+    ``_fast`` override when present, else the worker's ``REPRO_FAST``
+    environment.  Never part of the fingerprint — both paths produce
+    bit-identical results."""
+    return fast_enabled(payload.get("_fast"))
 
 
 #: Per-process memo of warmup checkpoints, keyed by warmup-task
@@ -205,8 +311,11 @@ def _run_warmup_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     from ..core import GenerationSimulator
 
     config = config_from_dict(payload["config"])
-    trace = _build_trace(payload["trace"])
-    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
+    fast = _payload_fast(payload)
+    trace = (_build_compiled(payload["trace"]) if fast
+             else _build_trace(payload["trace"]))
+    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0),
+                              fast=fast)
     sim.run(trace.slice(0, int(payload["warmup"])),
             window_interval=payload.get(
                 "window_interval", DEFAULT_WINDOW_INSTRUCTIONS),
@@ -221,8 +330,11 @@ def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     from .results import SliceMetrics
 
     config = config_from_dict(payload["config"])
-    trace = _build_trace(payload["trace"])
-    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0))
+    fast = _payload_fast(payload)
+    trace = (_build_compiled(payload["trace"]) if fast
+             else _build_trace(payload["trace"]))
+    sim = GenerationSimulator(config, corunners=payload.get("corunners", 0),
+                              fast=fast)
     counters = payload.get("window_counters")
     warmup = int(payload.get("warmup", 0) or 0)
     if warmup > 0:
@@ -231,9 +343,11 @@ def _run_population_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         # otherwise the per-process memo builds (or reuses) it here.
         state = payload.get("_warmup_state")
         if state is None:
-            state = warmup_checkpoint(
-                {**{k: v for k, v in payload.items()
-                    if not k.startswith("_")}, "kind": "warmup"})
+            inner = {**{k: v for k, v in payload.items()
+                        if not k.startswith("_")}, "kind": "warmup"}
+            if "_fast" in payload:  # transport-only; keep paths aligned
+                inner["_fast"] = payload["_fast"]
+            state = warmup_checkpoint(inner)
         sim.restore(state)
         trace = trace.slice(warmup)
     r = sim.run(trace,
@@ -278,8 +392,11 @@ def _run_pipetrace_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     config = config_from_dict(payload["config"])
     trace = _build_trace(payload["trace"])
     sink = TraceSink(capacity=payload.get("capacity", 65536))
+    # Sink attached -> the scoreboard uses its reference loop (events
+    # need per-record context); the predictor hash memos still apply and
+    # are bit-identical, so fast on/off never changes the event stream.
     sim = GenerationSimulator(config, corunners=payload.get("corunners", 0),
-                              trace_sink=sink)
+                              trace_sink=sink, fast=_payload_fast(payload))
     r = sim.run(trace, window_interval=0)
     return {
         "generation": config.name,
@@ -359,14 +476,24 @@ def execute_task_timed(payload: Dict[str, Any]
 
 
 def execute_task_heartbeat(payload: Dict[str, Any]
-                           ) -> Tuple[Dict[str, Any], float, int]:
-    """Like :func:`execute_task_timed`, plus the executing pid.
+                           ) -> Tuple[Dict[str, Any], float, int,
+                                      Dict[str, float]]:
+    """Like :func:`execute_task_timed`, plus the executing pid and this
+    task's trace-preparation stats delta.
 
     The ``(seconds, pid)`` pair is the worker-side half of an engine
     telemetry heartbeat (:mod:`repro.observe.telemetry`): it rides the
     ordinary result channel back to the host, which stamps arrival time
-    and task context.  Like the timing, it lives *beside* the result —
-    cached payloads never carry it.
+    and task context.  The fourth element is the delta of
+    :data:`_TRACE_STATS` across the task (only changed keys) — the
+    host folds it into ``EngineStats.trace_stats``/``phase_breakdown``.
+    Everything travels *beside* the result — cached payloads never
+    carry any of it.  (The engine tolerates 3-tuples from monkeypatched
+    heartbeats; the delta is simply absent then.)
     """
+    before = trace_stats_snapshot()
     result, seconds = execute_task_timed(payload)
-    return result, seconds, os.getpid()
+    after = trace_stats_snapshot()
+    delta = {k: after[k] - before.get(k, 0)
+             for k in after if after[k] != before.get(k, 0)}
+    return result, seconds, os.getpid(), delta

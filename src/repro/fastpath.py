@@ -1,0 +1,42 @@
+"""The fast-path switch: one knob, two provably equivalent engines.
+
+The simulator has two implementations of its hottest code:
+
+- the **reference path** — per-record ``TraceRecord`` objects through
+  ``Scoreboard.run`` and unmemoized predictor hash functions; the
+  readable, obviously-correct spelling every test is written against;
+- the **fast path** — decode-once :class:`~repro.traces.compiled
+  .CompiledTrace` arrays through the scoreboard's flat loop, plus
+  memoized pure hash functions inside the SHP/LHP (same inputs, same
+  outputs, computed once).
+
+Results are bit-identical by construction — the fast path only changes
+*how often* pure functions are evaluated and *how* record fields are
+stored, never any computed value — and the equivalence is pinned by
+``tests/test_fastpath.py`` (metrics snapshots, window series, event
+streams, checkpoints; serial vs workers, fast vs reference).
+
+The knob: ``REPRO_FAST`` in the environment (default **on**; ``off`` /
+``0`` / ``no`` / ``false`` select the reference path), overridden
+per-call by the ``fast=`` keyword on :func:`repro.run`,
+:func:`repro.run_population` and friends.  Because the two paths
+produce identical results, the knob is *transport-only*: it never
+enters task fingerprints, cache keys, or ledger archive digests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment switch; any of these values selects the reference path.
+FAST_ENV = "REPRO_FAST"
+_DISABLE_VALUES = ("0", "off", "no", "false")
+
+
+def fast_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the effective fast-path state (explicit arg beats env)."""
+    if override is not None:
+        return bool(override)
+    value = os.environ.get(FAST_ENV, "").strip().lower()
+    return value not in _DISABLE_VALUES

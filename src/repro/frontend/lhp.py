@@ -17,12 +17,17 @@ from .history import fold_bits, geometric_intervals, pc_hash
 _WEIGHT_MAX = 31
 _WEIGHT_MIN = -31
 
+#: Fast-path hash memo size bound; hitting it clears the memo (the
+#: memos are pure caches, so clearing is always safe).
+_MEMO_CAP = 1 << 16
+
 
 class LocalHashedPerceptron:
     """Small hashed perceptron over per-branch local history."""
 
     def __init__(self, n_tables: int = 3, rows: int = 128,
-                 local_bits: int = 16, history_entries: int = 64) -> None:
+                 local_bits: int = 16, history_entries: int = 64,
+                 fast: bool = False) -> None:
         if rows & (rows - 1):
             raise ValueError("rows must be a power of two")
         self.n_tables = n_tables
@@ -35,11 +40,30 @@ class LocalHashedPerceptron:
         # Per-branch local history, hash-indexed with bounded capacity.
         self._local: Dict[int, int] = {}
         self.theta = int(1.93 * n_tables + 4)
+        #: Fast-path memo layer over the pure hashes (see
+        #: ``repro.fastpath``): ``_history_slot`` and ``_indices`` are
+        #: pure functions of their keys, and the predict/update flow
+        #: recomputes the same ``(pc, lhist)`` pair two to three times
+        #: per branch.  Derivable caches — excluded from ``state_dict``.
+        self.fast = bool(fast)
+        self._slot_memo: Dict[int, int] = {}
+        self._pc_memo: Dict[int, Tuple[int, ...]] = {}
+        self._index_memo: Dict[Tuple[int, int], Tuple[int, ...]] = {}
 
     def _history_slot(self, pc: int) -> int:
+        if self.fast:
+            slot = self._slot_memo.get(pc)
+            if slot is None:
+                if len(self._slot_memo) > _MEMO_CAP:
+                    self._slot_memo.clear()
+                slot = self._slot_memo[pc] = pc_hash(
+                    pc, self.history_entries.bit_length() - 1, salt=0x77)
+            return slot
         return pc_hash(pc, self.history_entries.bit_length() - 1, salt=0x77)
 
     def _indices(self, pc: int, lhist: int) -> Tuple[int, ...]:
+        if self.fast:
+            return self._indices_fast(pc, lhist)
         idx = []
         for t in range(self.n_tables):
             lo, hi = self.intervals[t]
@@ -48,6 +72,34 @@ class LocalHashedPerceptron:
             p = pc_hash(pc, self.index_bits, salt=(t + 3) * 0x2B)
             idx.append((h ^ p) & (self.rows - 1))
         return tuple(idx)
+
+    def _indices_fast(self, pc: int, lhist: int) -> Tuple[int, ...]:
+        """Memoized twin of the loop above (same folds, same XOR, same
+        masking, computed once per distinct ``(pc, lhist)``)."""
+        key = (pc, lhist)
+        idx = self._index_memo.get(key)
+        if idx is not None:
+            return idx
+        bits = self.index_bits
+        ps = self._pc_memo.get(pc)
+        if ps is None:
+            ps = tuple(pc_hash(pc, bits, salt=(t + 3) * 0x2B)
+                       for t in range(self.n_tables))
+            if len(self._pc_memo) > _MEMO_CAP:
+                self._pc_memo.clear()
+            self._pc_memo[pc] = ps
+        out = []
+        mask = self.rows - 1
+        for t in range(self.n_tables):
+            lo, hi = self.intervals[t]
+            seg = (lhist >> lo) & ((1 << (hi - lo)) - 1)
+            h = fold_bits(seg, hi - lo, bits)
+            out.append((h ^ ps[t]) & mask)
+        idx = tuple(out)
+        if len(self._index_memo) > _MEMO_CAP:
+            self._index_memo.clear()
+        self._index_memo[key] = idx
+        return idx
 
     def predict(self, pc: int) -> Tuple[bool, int]:
         """Return (taken, sum) for the branch at ``pc``."""

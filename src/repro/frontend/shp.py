@@ -37,6 +37,10 @@ WEIGHT_MIN = -127
 BIAS_MAX = 31
 BIAS_MIN = -31
 
+#: Fast-path hash memo size bound; hitting it clears the memo (the
+#: memos are pure caches, so clearing is always safe).
+_MEMO_CAP = 1 << 16
+
 
 @dataclass
 class ShpPrediction:
@@ -72,6 +76,7 @@ class ScaledHashedPerceptron:
         phist_bits: int = 80,
         theta_init: Optional[int] = None,
         seed_salt: int = 0,
+        fast: bool = False,
     ) -> None:
         if n_tables < 1 or rows < 2:
             raise ValueError("SHP needs >=1 table and >=2 rows")
@@ -86,6 +91,15 @@ class ScaledHashedPerceptron:
         self.phist_intervals = geometric_intervals(n_tables, phist_bits)
         self.tables: List[List[int]] = [[0] * rows for _ in range(n_tables)]
         self.seed_salt = seed_salt
+        #: Fast-path memo layer over the pure hash functions (see
+        #: ``repro.fastpath``): ``pc_hash``/``mix_segment`` depend only
+        #: on their arguments, so caching them changes how often they
+        #: are evaluated, never any value.  The memos are deliberately
+        #: not part of ``state_dict`` — they are derivable caches.
+        self.fast = bool(fast)
+        self._pc_memo: Dict[int, Tuple[int, ...]] = {}
+        self._g_memo: List[Dict[int, int]] = [{} for _ in range(n_tables)]
+        self._p_memo: List[Dict[int, int]] = [{} for _ in range(n_tables)]
 
         # O-GEHL adaptive threshold: theta tracks history length scale.
         self.theta = theta_init if theta_init is not None else (
@@ -106,6 +120,8 @@ class ScaledHashedPerceptron:
     # -- indexing -----------------------------------------------------------
 
     def _indices(self, pc: int) -> Tuple[int, ...]:
+        if self.fast:
+            return self._indices_fast(pc)
         idx = []
         for t in range(self.n_tables):
             glo, ghi = self.ghist_intervals[t]
@@ -116,6 +132,47 @@ class ScaledHashedPerceptron:
                             self.index_bits, salt=0x40 + t)
             h = pc_hash(pc, self.index_bits, salt=(t + 1) * 0x51 + self.seed_salt)
             idx.append((g ^ p ^ h) & (self.rows - 1))
+        return tuple(idx)
+
+    def _indices_fast(self, pc: int) -> Tuple[int, ...]:
+        """Memoized twin of the loop above — same hashes, same XOR, same
+        masking; each pure hash is just computed once per distinct input
+        (per-PC ``pc_hash`` vectors, per-(table, raw segment)
+        ``mix_segment`` values)."""
+        bits = self.index_bits
+        hs = self._pc_memo.get(pc)
+        if hs is None:
+            hs = tuple(
+                pc_hash(pc, bits, salt=(t + 1) * 0x51 + self.seed_salt)
+                for t in range(self.n_tables))
+            if len(self._pc_memo) > _MEMO_CAP:
+                self._pc_memo.clear()
+            self._pc_memo[pc] = hs
+        gv = self.ghist.value
+        pv = self.phist.value
+        mask = self.rows - 1
+        g_memo = self._g_memo
+        p_memo = self._p_memo
+        idx = []
+        for t in range(self.n_tables):
+            glo, ghi = self.ghist_intervals[t]
+            plo, phi = self.phist_intervals[t]
+            gseg = (gv >> glo) & ((1 << (ghi - glo)) - 1)
+            gm = g_memo[t]
+            g = gm.get(gseg)
+            if g is None:
+                if len(gm) > _MEMO_CAP:
+                    gm.clear()
+                g = gm[gseg] = mix_segment(gseg, ghi - glo, bits, salt=t + 1)
+            pseg = (pv >> plo) & ((1 << (phi - plo)) - 1)
+            pm = p_memo[t]
+            p = pm.get(pseg)
+            if p is None:
+                if len(pm) > _MEMO_CAP:
+                    pm.clear()
+                p = pm[pseg] = mix_segment(pseg, phi - plo, bits,
+                                           salt=0x40 + t)
+            idx.append((g ^ p ^ hs[t]) & mask)
         return tuple(idx)
 
     # -- prediction -----------------------------------------------------------

@@ -138,6 +138,10 @@ def _stats_stamp(stats: Any) -> Dict[str, Any]:
         "cache_hits": stats.cache_hits,
         "executed": stats.executed,
         "wall_seconds": stats.wall_seconds,
+        # Throughput fields (older EngineStats objects lack them).
+        "instructions_total": getattr(stats, "instructions_total", 0),
+        "instructions_executed": getattr(stats, "instructions_executed", 0),
+        "kips": getattr(stats, "kips", 0.0),
         "phase_breakdown": dict(stats.phase_breakdown),
         "kind_stats": {kind: dict(counts)
                        for kind, counts in stats.kind_stats.items()},
@@ -182,8 +186,12 @@ def single_run_record(result: Any, *, generation: str,
                       config_fingerprint: str,
                       spec: Optional[Dict[str, Any]],
                       corunners: int, warmup: int,
-                      wall_seconds: float) -> Dict[str, Any]:
-    """Build the ledger record for one ``repro.run`` invocation."""
+                      wall_seconds: float,
+                      instructions: int = 0) -> Dict[str, Any]:
+    """Build the ledger record for one ``repro.run`` invocation.
+
+    ``instructions`` is the measured-segment length; with
+    ``wall_seconds`` it yields the run's KIPS throughput stamp."""
     record: Dict[str, Any] = {
         **_schema_stamp(),
         "kind": "run",
@@ -195,7 +203,12 @@ def single_run_record(result: Any, *, generation: str,
             "warmup": warmup,
         },
         "config_fingerprints": {generation: config_fingerprint},
-        "engine": {"wall_seconds": wall_seconds},
+        "engine": {
+            "wall_seconds": wall_seconds,
+            "instructions": int(instructions),
+            "kips": (instructions / 1000.0 / wall_seconds
+                     if wall_seconds > 0 and instructions else 0.0),
+        },
         "summary": {
             "ipc": result.ipc,
             "mpki": result.mpki,
@@ -339,7 +352,8 @@ def compare_records(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
     engine: Dict[str, Any] = {}
     ea, eb = a.get("engine", {}) or {}, b.get("engine", {}) or {}
     for key in ("workers", "cache_mode", "tasks_total", "cache_hits",
-                "executed", "wall_seconds"):
+                "executed", "wall_seconds", "instructions",
+                "instructions_total", "instructions_executed", "kips"):
         if ea.get(key) != eb.get(key):
             engine[key] = _delta(key, ea.get(key), eb.get(key))
 

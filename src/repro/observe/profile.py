@@ -71,10 +71,39 @@ def describe_profile(stats, top: int = 10) -> str:
     for phase in PHASES:
         seconds = breakdown.get(phase, 0.0)
         pct = 100.0 * seconds / total if total > 0 else 0.0
-        lines.append(f"    {phase:<13s} {seconds:8.3f}s  {pct:5.1f}%")
+        lines.append(f"    {phase:<14s} {seconds:8.3f}s  {pct:5.1f}%")
     other = max(0.0, total - accounted)
     pct = 100.0 * other / total if total > 0 else 0.0
-    lines.append(f"    {'other':<13s} {other:8.3f}s  {pct:5.1f}%")
+    lines.append(f"    {'other':<14s} {other:8.3f}s  {pct:5.1f}%")
+    # Worker-side trace preparation overlaps the execute phase (it is
+    # not part of `accounted`); render it as execute sub-phases.
+    for sub in ("trace_generate", "trace_compile"):
+        seconds = breakdown.get(sub, 0.0)
+        if seconds:
+            pct = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"    {sub:<14s} {seconds:8.3f}s  {pct:5.1f}% "
+                         f"(inside execute)")
+
+    trace_stats = getattr(stats, "trace_stats", None) or {}
+    if trace_stats:
+        generated = int(trace_stats.get("generated", 0))
+        compiled = int(trace_stats.get("compiled", 0))
+        memo_hits = int(trace_stats.get("memo_hits", 0))
+        store_hits = int(trace_stats.get("store_hits", 0))
+        store_misses = int(trace_stats.get("store_misses", 0))
+        lines.append(f"  trace prep: {generated} generated, "
+                     f"{compiled} compiled, {memo_hits} memo hits")
+        looked_up = store_hits + store_misses
+        if looked_up:
+            rate = 100.0 * store_hits / looked_up
+            lines.append(f"  compiled store: {rate:5.1f}% hit "
+                         f"({store_hits}/{looked_up} lookups)")
+
+    instructions = int(getattr(stats, "instructions_executed", 0) or 0)
+    kips = getattr(stats, "kips", 0.0)
+    if instructions and kips:
+        lines.append(f"  throughput: {kips:.1f} kips "
+                     f"({instructions} instructions simulated)")
 
     kind_stats = getattr(stats, "kind_stats", None) or {}
     if kind_stats:

@@ -19,6 +19,7 @@ from .types import (  # noqa: F401
     Trace,
     TraceRecord,
 )
+from .compiled import CompiledTrace, compile_trace  # noqa: F401
 from .generator import ProgramWalker, generate_trace  # noqa: F401
 from .program import Program  # noqa: F401
 from .spec import TraceSpec, coerce_spec  # noqa: F401

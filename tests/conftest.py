@@ -5,8 +5,14 @@ must not append hundreds of records to the developer's actual cache
 root — every engine call here would otherwise log itself.  Tests that
 exercise the ledger opt back in explicitly (``ledger=True`` or a
 monkeypatched ``REPRO_LEDGER``) against a tmp cache dir.
+
+Likewise the compiled-trace store: on by default for real usage, off
+here so tests never write binary blobs into the developer's cache root.
+Store tests opt back in with a monkeypatched ``REPRO_TRACE_STORE`` and
+``REPRO_CACHE_DIR`` pointed at a tmp dir.
 """
 
 import os
 
 os.environ.setdefault("REPRO_LEDGER", "off")
+os.environ.setdefault("REPRO_TRACE_STORE", "off")

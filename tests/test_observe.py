@@ -260,8 +260,14 @@ def test_engine_stats_phase_breakdown_and_timings():
     _result, stats = execute_population(
         n_slices=2, slice_length=1500, seed=11,
         generations=("M1", "M5"), cache="off")
-    assert set(stats.phase_breakdown) == {
-        "fingerprint", "cache_lookup", "execute", "cache_store"}
+    # The four engine phases are always present; trace preparation adds
+    # trace_generate/trace_compile sub-phases when workers built traces
+    # this run (depends on what earlier tests left in the trace memo).
+    assert {"fingerprint", "cache_lookup", "execute",
+            "cache_store"} <= set(stats.phase_breakdown)
+    assert set(stats.phase_breakdown) <= {
+        "fingerprint", "cache_lookup", "execute", "cache_store",
+        "trace_generate", "trace_compile"}
     assert all(v >= 0.0 for v in stats.phase_breakdown.values())
     assert len(stats.task_timings) == stats.executed == 4
     assert all(t.seconds >= 0.0 for t in stats.task_timings)
@@ -300,8 +306,11 @@ def test_kind_hit_rates_split_warmup_from_measure():
     assert cold.kind_stats["population"] == {"hits": 0, "executed": 2}
     assert cold.kind_stats["warmup"] == {"hits": 0, "executed": 2}
 
+    # population + warmup, plus the trace_compile pseudo-kind when the
+    # fast path prepared compiled traces during this run.
     lines = kind_hit_rates(cold.kind_stats)
-    assert len(lines) == 2
+    assert 2 <= len(lines) <= 3
+    assert any("population" in line for line in lines)
     assert any("warmup" in line and "0.0% hit" in line for line in lines)
     text = describe_profile(cold)
     assert "cache hit-rate by task kind" in text
